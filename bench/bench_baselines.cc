@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Solver-family comparison (Sec. III-B context): the paper notes its
+ * software MCMC (BP 27% on teddy) lands "very close to" Graph Cuts
+ * (BP 25%), the strong energy-minimization family.  This bench
+ * reproduces that framing with the in-repo deterministic baselines:
+ * ICM (weak local search), loopy min-sum BP (graph-cuts-class message
+ * passing), annealed Gibbs with the software sampler, and annealed
+ * Gibbs with the new RSU-G — on the three stereo analogs.
+ */
+
+#include "bench_common.hh"
+#include "metrics/stereo_metrics.hh"
+#include "mrf/belief_propagation.hh"
+#include "mrf/icm.hh"
+
+using namespace retsim;
+using namespace retsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    util::CliArgs args(argc, argv);
+    const int sweeps = static_cast<int>(args.getInt("sweeps", 200));
+    const int bp_iters = static_cast<int>(args.getInt("bp-iters", 30));
+    const std::uint64_t seed = args.getInt("seed", 42);
+
+    printHeader("Solver families on stereo (BP%)",
+                "Sec. III-B: annealed MCMC reaches the quality class "
+                "of deterministic energy minimization");
+
+    auto scenes = img::standardStereoSuite();
+    util::TextTable t({"dataset", "ICM", "min-sum BP",
+                       "Gibbs (software)", "Gibbs (new RSU-G)"});
+
+    for (const auto &scene : scenes) {
+        auto problem = apps::buildStereoProblem(scene);
+
+        mrf::IcmSolver icm(50, seed);
+        auto icm_labels = icm.run(problem);
+
+        mrf::BeliefPropagationSolver bp({bp_iters, 0.5});
+        auto bp_labels = bp.run(problem);
+
+        core::SoftwareSampler sw;
+        auto gibbs_sw = apps::runStereo(
+            scene, sw, apps::defaultStereoSolver(sweeps, seed));
+        core::RsuSampler rsu(core::RsuConfig::newDesign());
+        auto gibbs_rsu = apps::runStereo(
+            scene, rsu, apps::defaultStereoSolver(sweeps, seed));
+
+        t.newRow()
+            .cell(scene.name)
+            .cell(metrics::badPixelPercent(icm_labels,
+                                           scene.gtDisparity),
+                  2)
+            .cell(metrics::badPixelPercent(bp_labels,
+                                           scene.gtDisparity),
+                  2)
+            .cell(gibbs_sw.badPixelPercent, 2)
+            .cell(gibbs_rsu.badPixelPercent, 2);
+    }
+    t.print(std::cout);
+
+    std::printf("\nReading guide: ICM's greedy descent is the weak "
+                "baseline; min-sum BP stands in for the\nGraph-Cuts "
+                "class; annealed Gibbs (software and RSU-G) must land "
+                "in BP's quality class,\nmirroring the paper's "
+                "27%% vs 25%% teddy comparison.\n");
+    return 0;
+}

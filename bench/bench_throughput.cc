@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the simulator's hot kernels:
+ * label sampling for every sampler implementation, the TTF race, the
+ * energy-to-lambda converters and one full Gibbs sweep.  These
+ * measure *simulator* throughput (how fast we can model the RSU-G),
+ * not device throughput — the device-side numbers live in
+ * bench_table2 / bench_pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/stereo.hh"
+#include "core/energy_to_lambda.hh"
+#include "core/rsu_pipeline.hh"
+#include "core/sampler_cdf.hh"
+#include "core/sampler_rsu.hh"
+#include "core/sampler_software.hh"
+#include "core/ttf_race.hh"
+#include "img/synthetic.hh"
+#include "core/phase_type.hh"
+#include "mrf/gibbs.hh"
+#include "ret/exciton_walk.hh"
+#include "rng/lfsr.hh"
+
+namespace {
+
+using namespace retsim;
+
+std::vector<float>
+testEnergies(int labels)
+{
+    std::vector<float> e(labels);
+    for (int l = 0; l < labels; ++l)
+        e[l] = float((l * 37) % 120);
+    return e;
+}
+
+void
+BM_SoftwareSampler(benchmark::State &state)
+{
+    core::SoftwareSampler sampler;
+    rng::Xoshiro256 gen(1);
+    auto e = testEnergies(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.sample(e, 8.0, 0, gen));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoftwareSampler)->Arg(10)->Arg(56);
+
+void
+BM_RsuSamplerNewDesign(benchmark::State &state)
+{
+    core::RsuSampler sampler(core::RsuConfig::newDesign());
+    rng::Xoshiro256 gen(2);
+    auto e = testEnergies(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.sample(e, 8.0, 0, gen));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RsuSamplerNewDesign)->Arg(10)->Arg(56);
+
+void
+BM_RsuSamplerPrevDesign(benchmark::State &state)
+{
+    core::RsuSampler sampler(core::RsuConfig::previousDesign());
+    rng::Xoshiro256 gen(3);
+    auto e = testEnergies(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.sample(e, 8.0, 0, gen));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RsuSamplerPrevDesign)->Arg(56);
+
+void
+BM_CdfLutSampler(benchmark::State &state)
+{
+    core::CdfLutSampler sampler(
+        std::make_unique<rng::Lfsr>(rng::Lfsr::makeLfsr19(7)), 64);
+    rng::Xoshiro256 gen(4);
+    auto e = testEnergies(static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.sample(e, 8.0, 0, gen));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CdfLutSampler)->Arg(56);
+
+void
+BM_TtfRace(benchmark::State &state)
+{
+    core::RsuConfig cfg = core::RsuConfig::newDesign();
+    rng::Xoshiro256 gen(5);
+    std::vector<double> rates(state.range(0));
+    double l0 = cfg.lambda0();
+    for (std::size_t i = 0; i < rates.size(); ++i)
+        rates[i] = double(1 + (i % 8)) * l0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::runTtfRace(rates, cfg, gen));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TtfRace)->Arg(10)->Arg(56);
+
+void
+BM_LambdaLutBuild(benchmark::State &state)
+{
+    core::RsuConfig cfg = core::RsuConfig::newDesign();
+    double t = 10.0;
+    for (auto _ : state) {
+        core::LambdaLut lut(cfg, t);
+        benchmark::DoNotOptimize(lut.lookup(5));
+        t += 0.001; // defeat caching
+    }
+}
+BENCHMARK(BM_LambdaLutBuild);
+
+void
+BM_LambdaComparatorConvert(benchmark::State &state)
+{
+    core::RsuConfig cfg = core::RsuConfig::newDesign();
+    core::LambdaComparator cmp(cfg, 10.0);
+    std::uint64_t e = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cmp.convert(e));
+        e = (e + 7) % 256;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LambdaComparatorConvert);
+
+void
+BM_GibbsSweepStereo(benchmark::State &state)
+{
+    img::StereoSceneSpec spec;
+    spec.width = 64;
+    spec.height = 48;
+    spec.numLabels = static_cast<int>(state.range(0));
+    auto scene = img::makeStereoScene(spec, 3);
+    auto problem = apps::buildStereoProblem(scene);
+    core::RsuSampler sampler(core::RsuConfig::newDesign());
+    mrf::SolverConfig cfg;
+    cfg.annealing.sweeps = 1;
+    cfg.annealing.t0 = 8.0;
+    cfg.annealing.tEnd = 8.0;
+    mrf::GibbsSolver solver(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solver.run(problem, sampler));
+    state.SetItemsProcessed(state.iterations() * spec.width *
+                            spec.height * spec.numLabels);
+}
+BENCHMARK(BM_GibbsSweepStereo)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void
+BM_ExcitonChainPropagate(benchmark::State &state)
+{
+    auto chain = ret::ExcitonChain::uniformChain(
+        static_cast<unsigned>(state.range(0)), 0.4, 0.25);
+    rng::Xoshiro256 gen(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(chain.propagate(gen));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExcitonChainPropagate)->Arg(1)->Arg(4);
+
+void
+BM_PhaseTypeSample(benchmark::State &state)
+{
+    auto sampler = core::PhaseTypeSampler::erlang(
+        static_cast<unsigned>(state.range(0)), 1.0);
+    rng::Xoshiro256 gen(8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sampler.sampleContinuous(gen));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhaseTypeSample)->Arg(4);
+
+void
+BM_PipelineCycleSim(benchmark::State &state)
+{
+    core::PipelineConfig cfg;
+    cfg.rsu = core::RsuConfig::newDesign();
+    std::vector<core::PixelRequest> reqs(64);
+    for (auto &r : reqs)
+        r.energies = testEnergies(16);
+    rng::Xoshiro256 gen(6);
+    for (auto _ : state) {
+        core::RsuPipeline pipeline(cfg, 8.0);
+        benchmark::DoNotOptimize(pipeline.run(reqs, gen));
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 16);
+}
+BENCHMARK(BM_PipelineCycleSim)->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,134 @@
+#include "apps/denoising.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rng/rng.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace apps {
+
+double
+levelIntensity(int label, int levels)
+{
+    RETSIM_ASSERT(levels >= 2 && levels <= 64,
+                  "level count out of RSU range: ", levels);
+    RETSIM_ASSERT(label >= 0 && label < levels, "label out of range");
+    return 255.0 * static_cast<double>(label) /
+           static_cast<double>(levels - 1);
+}
+
+img::LabelMap
+quantizeToLevels(const img::ImageU8 &image, int levels)
+{
+    img::LabelMap out(image.width(), image.height());
+    double scale = static_cast<double>(levels - 1) / 255.0;
+    for (int y = 0; y < image.height(); ++y)
+        for (int x = 0; x < image.width(); ++x)
+            out(x, y) = static_cast<int>(
+                std::lround(image(x, y) * scale));
+    return out;
+}
+
+img::ImageU8
+levelsToImage(const img::LabelMap &labels, int levels)
+{
+    img::ImageU8 out(labels.width(), labels.height());
+    for (int y = 0; y < labels.height(); ++y)
+        for (int x = 0; x < labels.width(); ++x)
+            out(x, y) = static_cast<std::uint8_t>(std::lround(
+                levelIntensity(labels(x, y), levels)));
+    return out;
+}
+
+mrf::MrfProblem
+buildDenoisingProblem(const img::ImageU8 &noisy,
+                      const DenoisingParams &params)
+{
+    mrf::PairwiseTable pairwise(mrf::DistanceKind::Absolute,
+                                params.levels, params.smoothWeight,
+                                params.smoothTau);
+    mrf::MrfProblem problem(noisy.width(), noisy.height(),
+                            std::move(pairwise), "denoising");
+    for (int y = 0; y < noisy.height(); ++y) {
+        for (int x = 0; x < noisy.width(); ++x) {
+            double observed = noisy(x, y);
+            for (int l = 0; l < params.levels; ++l) {
+                double diff = std::abs(
+                    observed - levelIntensity(l, params.levels));
+                problem.singleton(x, y, l) = static_cast<float>(
+                    params.dataWeight *
+                    std::min(diff, params.dataTau));
+            }
+        }
+    }
+    return problem;
+}
+
+double
+psnrDb(const img::ImageU8 &a, const img::ImageU8 &b)
+{
+    RETSIM_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                  "image size mismatch");
+    double mse = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        double d = static_cast<double>(a.data()[i]) -
+                   static_cast<double>(b.data()[i]);
+        mse += d * d;
+    }
+    mse /= static_cast<double>(a.size());
+    if (mse == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+img::ImageU8
+addGaussianNoise(const img::ImageU8 &clean, double sigma,
+                 std::uint64_t seed)
+{
+    rng::Xoshiro256 gen(seed);
+    img::ImageU8 out(clean.width(), clean.height());
+    for (std::size_t i = 0; i < clean.data().size(); ++i) {
+        double u1 = gen.nextDoubleOpenLow();
+        double u2 = gen.nextDouble();
+        double n = sigma * std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+        double v = static_cast<double>(clean.data()[i]) + n;
+        out.data()[i] =
+            static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+    return out;
+}
+
+DenoisingResult
+runDenoising(const img::ImageU8 &clean, const img::ImageU8 &noisy,
+             mrf::LabelSampler &sampler,
+             const mrf::SolverConfig &solver,
+             const DenoisingParams &params)
+{
+    mrf::MrfProblem problem = buildDenoisingProblem(noisy, params);
+    mrf::GibbsSolver gibbs(solver);
+
+    DenoisingResult result;
+    img::LabelMap labels = gibbs.run(problem, sampler, &result.trace);
+    result.restored = levelsToImage(labels, params.levels);
+    result.psnrNoisy = psnrDb(noisy, clean);
+    result.psnrRestored = psnrDb(result.restored, clean);
+    return result;
+}
+
+mrf::SolverConfig
+defaultDenoisingSolver(int sweeps, std::uint64_t seed)
+{
+    mrf::SolverConfig cfg;
+    cfg.annealing.t0 = 24.0;
+    cfg.annealing.tEnd = 0.6;
+    cfg.annealing.sweeps = sweeps;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace apps
+} // namespace retsim

@@ -1,0 +1,145 @@
+#include "apps/motion_pyramid.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "metrics/motion_metrics.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace apps {
+
+img::ImageU8
+downsample2x(const img::ImageU8 &src)
+{
+    int w = std::max(1, src.width() / 2);
+    int h = std::max(1, src.height() / 2);
+    img::ImageU8 dst(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int acc = src(2 * x, 2 * y);
+            acc += src.atClamped(2 * x + 1, 2 * y);
+            acc += src.atClamped(2 * x, 2 * y + 1);
+            acc += src.atClamped(2 * x + 1, 2 * y + 1);
+            dst(x, y) = static_cast<std::uint8_t>((acc + 2) / 4);
+        }
+    }
+    return dst;
+}
+
+img::Image<img::Vec2i>
+upsampleFlow2x(const img::Image<img::Vec2i> &src, int width, int height)
+{
+    img::Image<img::Vec2i> dst(width, height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            int sx = std::min(x / 2, src.width() - 1);
+            int sy = std::min(y / 2, src.height() - 1);
+            dst(x, y) = {2 * src(sx, sy).x, 2 * src(sx, sy).y};
+        }
+    }
+    return dst;
+}
+
+mrf::MrfProblem
+buildResidualMotionProblem(const img::ImageU8 &frame0,
+                           const img::ImageU8 &frame1,
+                           const img::Image<img::Vec2i> &base_flow,
+                           const PyramidParams &params)
+{
+    RETSIM_ASSERT(frame0.width() == frame1.width() &&
+                      frame0.height() == frame1.height(),
+                  "frame size mismatch");
+    RETSIM_ASSERT(base_flow.width() == frame0.width() &&
+                      base_flow.height() == frame0.height(),
+                  "base flow size mismatch");
+
+    auto offsets = motionLabelTable(params.windowRadius);
+    std::vector<std::vector<double>> coords(offsets.size());
+    for (std::size_t i = 0; i < offsets.size(); ++i)
+        coords[i] = {static_cast<double>(offsets[i].x),
+                     static_cast<double>(offsets[i].y)};
+    mrf::PairwiseTable pairwise(mrf::DistanceKind::Squared, coords,
+                                params.motion.smoothWeight,
+                                params.motion.smoothTau);
+    mrf::MrfProblem problem(frame0.width(), frame0.height(),
+                            std::move(pairwise), "motion-residual");
+
+    for (int y = 0; y < problem.height(); ++y) {
+        for (int x = 0; x < problem.width(); ++x) {
+            img::Vec2i base = base_flow(x, y);
+            for (std::size_t l = 0; l < offsets.size(); ++l) {
+                double diff =
+                    static_cast<double>(frame0(x, y)) -
+                    static_cast<double>(frame1.atClamped(
+                        x + base.x + offsets[l].x,
+                        y + base.y + offsets[l].y));
+                double cost =
+                    std::min(params.motion.dataWeight * diff * diff,
+                             params.motion.dataTau);
+                problem.singleton(x, y, static_cast<int>(l)) =
+                    static_cast<float>(cost);
+            }
+        }
+    }
+    return problem;
+}
+
+MotionPyramidResult
+runMotionPyramid(const img::ImageU8 &frame0, const img::ImageU8 &frame1,
+                 mrf::LabelSampler &sampler,
+                 const mrf::SolverConfig &solver,
+                 const PyramidParams &params,
+                 const img::Image<img::Vec2i> *gt)
+{
+    RETSIM_ASSERT(params.levels >= 1, "need at least one level");
+    RETSIM_ASSERT(params.windowRadius >= 1, "window radius >= 1");
+
+    // Build the pyramids, coarsest last.
+    std::vector<img::ImageU8> pyr0 = {frame0};
+    std::vector<img::ImageU8> pyr1 = {frame1};
+    for (int l = 1; l < params.levels; ++l) {
+        pyr0.push_back(downsample2x(pyr0.back()));
+        pyr1.push_back(downsample2x(pyr1.back()));
+    }
+
+    auto offsets = motionLabelTable(params.windowRadius);
+    mrf::GibbsSolver gibbs(solver);
+
+    // Coarse-to-fine: start with zero base flow at the top.
+    img::Image<img::Vec2i> flow(pyr0.back().width(),
+                                pyr0.back().height());
+    for (int level = params.levels - 1; level >= 0; --level) {
+        const img::ImageU8 &f0 = pyr0[level];
+        const img::ImageU8 &f1 = pyr1[level];
+        if (flow.width() != f0.width() ||
+            flow.height() != f0.height()) {
+            flow = upsampleFlow2x(flow, f0.width(), f0.height());
+        }
+        for (int pass = 0; pass < params.passesPerLevel; ++pass) {
+            mrf::MrfProblem problem =
+                buildResidualMotionProblem(f0, f1, flow, params);
+            img::LabelMap labels = gibbs.run(problem, sampler);
+            for (int y = 0; y < f0.height(); ++y) {
+                for (int x = 0; x < f0.width(); ++x) {
+                    img::Vec2i off = offsets[labels(x, y)];
+                    flow(x, y) = {flow(x, y).x + off.x,
+                                  flow(x, y).y + off.y};
+                }
+            }
+        }
+    }
+
+    MotionPyramidResult result;
+    result.flow = std::move(flow);
+    result.effectiveRadius =
+        params.windowRadius * ((1 << params.levels) - 1);
+    if (gt)
+        result.endPointError =
+            metrics::endPointError(result.flow, *gt);
+    return result;
+}
+
+} // namespace apps
+} // namespace retsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Coarse-to-fine (image pyramid) motion estimation.
+ *
+ * The RSU-G supports at most 64 labels, which caps the search window
+ * at 7x7; the paper notes that "larger search windows can be obtained
+ * using an image pyramid method" (Sec. III-D.2).  This module
+ * implements that method: frames are downsampled 2x per level, motion
+ * is solved at the coarsest level with an in-budget window, the flow
+ * is upsampled and doubled, and each finer level solves only a
+ * *residual* window around the propagated estimate — so a P-level
+ * pyramid with radius R covers motions up to R * (2^P - 1) while
+ * every RSU-G evaluation stays within the 64-label budget.
+ *
+ * The residual smoothness term penalizes differences of residual
+ * offsets rather than absolute motions; this is exact wherever the
+ * propagated base flow is locally constant (the interior of moving
+ * regions) and approximate across motion boundaries, the standard
+ * pyramid trade-off.
+ */
+
+#ifndef RETSIM_APPS_MOTION_PYRAMID_HH
+#define RETSIM_APPS_MOTION_PYRAMID_HH
+
+#include "apps/motion.hh"
+#include "img/image.hh"
+#include "mrf/gibbs.hh"
+
+namespace retsim {
+namespace apps {
+
+struct PyramidParams
+{
+    int levels = 2;        ///< pyramid depth (>= 1)
+    int windowRadius = 3;  ///< per-level residual window radius
+    int passesPerLevel = 2; ///< residual re-solves per level; later
+                            ///< passes recenter the window on the
+                            ///< previous estimate, fixing coarse
+                            ///< errors larger than one window
+    MotionParams motion{}; ///< energy weights per level
+};
+
+/** 2x box downsampling (used to build the pyramid). */
+img::ImageU8 downsample2x(const img::ImageU8 &src);
+
+/** Upsample a flow field 2x, doubling the vectors. */
+img::Image<img::Vec2i> upsampleFlow2x(const img::Image<img::Vec2i> &src,
+                                      int width, int height);
+
+/**
+ * Build the residual MRF at one level: label l is an offset in the
+ * (2R+1)^2 window, and pixel (x, y)'s candidate displacement is
+ * base(x, y) + offset(l).
+ */
+mrf::MrfProblem
+buildResidualMotionProblem(const img::ImageU8 &frame0,
+                           const img::ImageU8 &frame1,
+                           const img::Image<img::Vec2i> &base_flow,
+                           const PyramidParams &params);
+
+struct MotionPyramidResult
+{
+    img::Image<img::Vec2i> flow;
+    double endPointError = 0.0; ///< filled if ground truth provided
+    int effectiveRadius = 0;    ///< maximum representable |motion|
+};
+
+/**
+ * Full coarse-to-fine estimation.  @p gt may be null; when present
+ * the end-point error is computed against it.
+ */
+MotionPyramidResult
+runMotionPyramid(const img::ImageU8 &frame0, const img::ImageU8 &frame1,
+                 mrf::LabelSampler &sampler,
+                 const mrf::SolverConfig &solver,
+                 const PyramidParams &params,
+                 const img::Image<img::Vec2i> *gt = nullptr);
+
+} // namespace apps
+} // namespace retsim
+
+#endif // RETSIM_APPS_MOTION_PYRAMID_HH

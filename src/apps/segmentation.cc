@@ -1,0 +1,117 @@
+#include "apps/segmentation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/segmentation_metrics.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace apps {
+
+std::vector<double>
+estimateClassMeans(const img::ImageU8 &image, int num_classes,
+                   int iters)
+{
+    RETSIM_ASSERT(num_classes >= 1, "need at least one class");
+    // Quantile initialization over the sorted intensities.
+    std::vector<std::uint8_t> sorted(image.data());
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> means(num_classes);
+    for (int c = 0; c < num_classes; ++c) {
+        std::size_t idx = (2 * static_cast<std::size_t>(c) + 1) *
+                          sorted.size() / (2 * num_classes);
+        means[c] = sorted[std::min(idx, sorted.size() - 1)];
+    }
+
+    std::vector<double> sums(num_classes);
+    std::vector<std::size_t> counts(num_classes);
+    for (int it = 0; it < iters; ++it) {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        std::fill(counts.begin(), counts.end(), 0u);
+        for (std::uint8_t v : image.data()) {
+            int best = 0;
+            double best_d = std::abs(v - means[0]);
+            for (int c = 1; c < num_classes; ++c) {
+                double d = std::abs(v - means[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            sums[best] += v;
+            ++counts[best];
+        }
+        for (int c = 0; c < num_classes; ++c) {
+            if (counts[c] > 0)
+                means[c] = sums[c] / static_cast<double>(counts[c]);
+        }
+    }
+    std::sort(means.begin(), means.end());
+    return means;
+}
+
+mrf::MrfProblem
+buildSegmentationProblem(const img::SegmentationScene &scene,
+                         const SegmentationParams &params)
+{
+    const int k = scene.numSegments;
+    std::vector<double> means =
+        estimateClassMeans(scene.image, k, params.kmeansIters);
+
+    mrf::PairwiseTable pairwise(mrf::DistanceKind::Binary, k,
+                                params.pottsWeight);
+    mrf::MrfProblem problem(scene.image.width(), scene.image.height(),
+                            std::move(pairwise),
+                            "segmentation-" + scene.name);
+
+    for (int y = 0; y < problem.height(); ++y) {
+        for (int x = 0; x < problem.width(); ++x) {
+            double v = scene.image(x, y);
+            for (int c = 0; c < k; ++c) {
+                double dev = v - means[c];
+                double cost = std::min(
+                    params.dataWeight * dev * dev, params.dataTau);
+                problem.singleton(x, y, c) =
+                    static_cast<float>(cost);
+            }
+        }
+    }
+    return problem;
+}
+
+SegmentationResult
+runSegmentation(const img::SegmentationScene &scene,
+                mrf::LabelSampler &sampler,
+                const mrf::SolverConfig &solver,
+                const SegmentationParams &params)
+{
+    mrf::MrfProblem problem = buildSegmentationProblem(scene, params);
+    mrf::GibbsSolver gibbs(solver);
+
+    SegmentationResult result;
+    result.segments = gibbs.run(problem, sampler, &result.trace);
+    result.voi = metrics::variationOfInformation(result.segments,
+                                                 scene.gtSegments);
+    result.pri = metrics::probabilisticRandIndex(result.segments,
+                                                 scene.gtSegments);
+    result.gce = metrics::globalConsistencyError(result.segments,
+                                                 scene.gtSegments);
+    result.bde = metrics::boundaryDisplacementError(result.segments,
+                                                    scene.gtSegments);
+    return result;
+}
+
+mrf::SolverConfig
+defaultSegmentationSolver(int sweeps, std::uint64_t seed)
+{
+    mrf::SolverConfig cfg;
+    cfg.annealing.t0 = 24.0;
+    cfg.annealing.tEnd = 1.0;
+    cfg.annealing.sweeps = sweeps;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace apps
+} // namespace retsim

@@ -1,0 +1,75 @@
+#include "apps/stereo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/stereo_metrics.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace apps {
+
+mrf::MrfProblem
+buildStereoProblem(const img::StereoScene &scene,
+                   const StereoParams &params)
+{
+    RETSIM_ASSERT(scene.numLabels >= 2, "need at least two disparities");
+    mrf::PairwiseTable pairwise(mrf::DistanceKind::Absolute,
+                                scene.numLabels, params.smoothWeight,
+                                params.smoothTau);
+    mrf::MrfProblem problem(scene.left.width(), scene.left.height(),
+                            std::move(pairwise),
+                            "stereo-" + scene.name);
+
+    for (int y = 0; y < problem.height(); ++y) {
+        for (int x = 0; x < problem.width(); ++x) {
+            for (int d = 0; d < scene.numLabels; ++d) {
+                double cost;
+                int xr = x - d;
+                if (xr < 0) {
+                    // No correspondence in the right image: occlusion
+                    // pays the full (truncated) data penalty.
+                    cost = params.dataTau;
+                } else {
+                    double diff = std::abs(
+                        static_cast<double>(scene.left(x, y)) -
+                        static_cast<double>(scene.right(xr, y)));
+                    cost = std::min(diff, params.dataTau);
+                }
+                problem.singleton(x, y, d) =
+                    static_cast<float>(params.dataWeight * cost);
+            }
+        }
+    }
+    return problem;
+}
+
+StereoResult
+runStereo(const img::StereoScene &scene, mrf::LabelSampler &sampler,
+          const mrf::SolverConfig &solver, const StereoParams &params)
+{
+    mrf::MrfProblem problem = buildStereoProblem(scene, params);
+    mrf::GibbsSolver gibbs(solver);
+
+    StereoResult result;
+    result.disparity = gibbs.run(problem, sampler, &result.trace);
+    result.badPixelPercent =
+        metrics::badPixelPercent(result.disparity, scene.gtDisparity);
+    result.rmsError =
+        metrics::rmsError(result.disparity, scene.gtDisparity);
+    return result;
+}
+
+mrf::SolverConfig
+defaultStereoSolver(int sweeps, std::uint64_t seed)
+{
+    mrf::SolverConfig cfg;
+    cfg.annealing.t0 = 48.0;
+    cfg.annealing.tEnd = 0.8;
+    cfg.annealing.sweeps = sweeps;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace apps
+} // namespace retsim

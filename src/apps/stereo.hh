@@ -1,0 +1,59 @@
+/**
+ * @file
+ * MCMC MRF stereo vision (Sec. III-A).
+ *
+ * First-order MRF following Barnard's stochastic stereo matching:
+ * each pixel's label is its disparity, the singleton energy is the
+ * truncated absolute intensity difference between the left pixel and
+ * the disparity-shifted right pixel, and the doubleton is a truncated
+ * absolute distance between neighboring disparities (the distance
+ * function stereo needs from the RSU-G energy stage).  Pixels whose
+ * match falls outside the right image pay the full data penalty
+ * (occlusion), mirroring the paper's conservative treatment of
+ * occluded regions as mislabeled.
+ */
+
+#ifndef RETSIM_APPS_STEREO_HH
+#define RETSIM_APPS_STEREO_HH
+
+#include "img/synthetic.hh"
+#include "mrf/gibbs.hh"
+#include "mrf/problem.hh"
+
+namespace retsim {
+namespace apps {
+
+struct StereoParams
+{
+    double dataWeight = 1.0;
+    double dataTau = 48.0;   ///< truncation of |I_L - I_R|
+    double smoothWeight = 4.0;
+    double smoothTau = 8.0;  ///< truncation of |d_p - d_q|
+};
+
+/** Build the MRF energy for a stereo scene. */
+mrf::MrfProblem buildStereoProblem(const img::StereoScene &scene,
+                                   const StereoParams &params = {});
+
+struct StereoResult
+{
+    img::LabelMap disparity;
+    double badPixelPercent = 0.0;
+    double rmsError = 0.0;
+    mrf::SolverTrace trace;
+};
+
+/** Solve one stereo scene with the given sampler and report quality. */
+StereoResult runStereo(const img::StereoScene &scene,
+                       mrf::LabelSampler &sampler,
+                       const mrf::SolverConfig &solver,
+                       const StereoParams &params = {});
+
+/** Annealing schedule tuned for the synthetic stereo suite. */
+mrf::SolverConfig defaultStereoSolver(int sweeps = 250,
+                                      std::uint64_t seed = 1);
+
+} // namespace apps
+} // namespace retsim
+
+#endif // RETSIM_APPS_STEREO_HH

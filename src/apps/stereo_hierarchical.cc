@@ -1,0 +1,170 @@
+#include "apps/stereo_hierarchical.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/motion_pyramid.hh" // downsample2x
+#include "metrics/stereo_metrics.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace apps {
+
+namespace {
+
+/** Truncated absolute data cost of matching (x, y) at disparity d. */
+double
+dataCost(const img::ImageU8 &left, const img::ImageU8 &right, int x,
+         int y, int d, const StereoParams &params)
+{
+    int xr = x - d;
+    if (xr < 0)
+        return params.dataTau; // occlusion penalty
+    double diff = std::abs(static_cast<double>(left(x, y)) -
+                           static_cast<double>(right(xr, y)));
+    return std::min(diff, params.dataTau);
+}
+
+/** Full-search stereo problem over [0, labels) disparities. */
+mrf::MrfProblem
+buildFullSearchProblem(const img::ImageU8 &left,
+                       const img::ImageU8 &right, int labels,
+                       const StereoParams &stereo)
+{
+    mrf::PairwiseTable pairwise(mrf::DistanceKind::Absolute, labels,
+                                stereo.smoothWeight, stereo.smoothTau);
+    mrf::MrfProblem problem(left.width(), left.height(),
+                            std::move(pairwise), "stereo-coarse");
+    for (int y = 0; y < problem.height(); ++y)
+        for (int x = 0; x < problem.width(); ++x)
+            for (int d = 0; d < labels; ++d)
+                problem.singleton(x, y, d) = static_cast<float>(
+                    stereo.dataWeight *
+                    dataCost(left, right, x, y, d, stereo));
+    return problem;
+}
+
+} // namespace
+
+img::LabelMap
+upsampleDisparity2x(const img::LabelMap &src, int width, int height)
+{
+    img::LabelMap dst(width, height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            int sx = std::min(x / 2, src.width() - 1);
+            int sy = std::min(y / 2, src.height() - 1);
+            dst(x, y) = 2 * src(sx, sy);
+        }
+    }
+    return dst;
+}
+
+mrf::MrfProblem
+buildRefineStereoProblem(const img::ImageU8 &left,
+                         const img::ImageU8 &right,
+                         const img::LabelMap &base_disparity,
+                         int refine_radius, int max_disparity,
+                         const StereoParams &stereo)
+{
+    const int m = 2 * refine_radius + 1;
+    RETSIM_ASSERT(m >= 2 && m <= 64,
+                  "refinement window outside RSU range: ", m);
+    RETSIM_ASSERT(base_disparity.width() == left.width() &&
+                      base_disparity.height() == left.height(),
+                  "base disparity size mismatch");
+
+    mrf::PairwiseTable pairwise(mrf::DistanceKind::Absolute, m,
+                                stereo.smoothWeight, stereo.smoothTau);
+    mrf::MrfProblem problem(left.width(), left.height(),
+                            std::move(pairwise), "stereo-refine");
+
+    for (int y = 0; y < problem.height(); ++y) {
+        for (int x = 0; x < problem.width(); ++x) {
+            int base = base_disparity(x, y);
+            for (int l = 0; l < m; ++l) {
+                int d = std::clamp(base + l - refine_radius, 0,
+                                   max_disparity);
+                problem.singleton(x, y, l) = static_cast<float>(
+                    stereo.dataWeight *
+                    dataCost(left, right, x, y, d, stereo));
+            }
+        }
+    }
+    return problem;
+}
+
+HierarchicalStereoResult
+runHierarchicalStereo(const img::ImageU8 &left,
+                      const img::ImageU8 &right,
+                      mrf::LabelSampler &sampler,
+                      const mrf::SolverConfig &solver,
+                      const HierarchicalStereoParams &params,
+                      const img::LabelMap *gt)
+{
+    RETSIM_ASSERT(params.levels >= 1, "need at least one level");
+    RETSIM_ASSERT(params.totalDisparities >= 2,
+                  "need at least two disparities");
+    RETSIM_ASSERT(params.coarseLabels() <= 64,
+                  "coarse search exceeds the RSU label budget; add "
+                  "pyramid levels");
+    RETSIM_ASSERT(params.refineLabels() <= 64,
+                  "refinement window exceeds the RSU label budget");
+
+    // Image pyramids, finest first.
+    std::vector<img::ImageU8> pyr_l = {left};
+    std::vector<img::ImageU8> pyr_r = {right};
+    for (int l = 1; l <= params.levels; ++l) {
+        pyr_l.push_back(downsample2x(pyr_l.back()));
+        pyr_r.push_back(downsample2x(pyr_r.back()));
+    }
+
+    mrf::GibbsSolver gibbs(solver);
+    HierarchicalStereoResult result;
+    result.maxLabelsUsed = params.coarseLabels();
+
+    // Coarsest level: full search over the shrunken range.
+    mrf::MrfProblem coarse = buildFullSearchProblem(
+        pyr_l.back(), pyr_r.back(), params.coarseLabels(),
+        params.stereo);
+    img::LabelMap disparity = gibbs.run(coarse, sampler);
+
+    // Finer levels: upsample, double, refine in a small window.
+    int range = params.coarseLabels();
+    for (int level = params.levels - 1; level >= 0; --level) {
+        range = std::min(2 * range, params.totalDisparities);
+        const img::ImageU8 &lv_l = pyr_l[level];
+        const img::ImageU8 &lv_r = pyr_r[level];
+        disparity = upsampleDisparity2x(disparity, lv_l.width(),
+                                        lv_l.height());
+        for (int &d : disparity.data())
+            d = std::clamp(d, 0, range - 1);
+
+        mrf::MrfProblem refine = buildRefineStereoProblem(
+            lv_l, lv_r, disparity, params.refineRadius, range - 1,
+            params.stereo);
+        img::LabelMap offsets = gibbs.run(refine, sampler);
+        result.maxLabelsUsed =
+            std::max(result.maxLabelsUsed, params.refineLabels());
+        for (int y = 0; y < lv_l.height(); ++y) {
+            for (int x = 0; x < lv_l.width(); ++x) {
+                disparity(x, y) = std::clamp(
+                    disparity(x, y) + offsets(x, y) -
+                        params.refineRadius,
+                    0, range - 1);
+            }
+        }
+    }
+
+    result.disparity = std::move(disparity);
+    if (gt) {
+        result.badPixelPercent =
+            metrics::badPixelPercent(result.disparity, *gt);
+        result.rmsError = metrics::rmsError(result.disparity, *gt);
+    }
+    return result;
+}
+
+} // namespace apps
+} // namespace retsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hierarchical (coarse-to-fine) stereo estimation beyond 64 labels.
+ *
+ * The RSU-G caps the label count at 64; the paper lists "providing
+ * support for more than 64 labels" as future work (Sec. IV-D).  The
+ * classical decomposition is spatial: at half resolution disparities
+ * halve too, so a 96-disparity problem becomes a 48-label problem on
+ * the downsampled pair — in budget.  The coarse estimate is then
+ * upsampled (values doubled) and each finer level solves only a
+ * +-refineRadius window around it.  Every RSU-G evaluation uses at
+ * most max(ceil(range / 2^levels), 2 * refineRadius + 1) labels.
+ */
+
+#ifndef RETSIM_APPS_STEREO_HIERARCHICAL_HH
+#define RETSIM_APPS_STEREO_HIERARCHICAL_HH
+
+#include "apps/stereo.hh"
+
+namespace retsim {
+namespace apps {
+
+struct HierarchicalStereoParams
+{
+    int totalDisparities = 96; ///< full range to cover (> 64 is fine)
+    int levels = 1;            ///< downsampling steps (>= 1)
+    int refineRadius = 4;      ///< +-window at each finer level
+    StereoParams stereo{};     ///< shared energy weights
+
+    /** Label count of the coarsest (full-search) pass. */
+    int
+    coarseLabels() const
+    {
+        int range = totalDisparities;
+        for (int l = 0; l < levels; ++l)
+            range = (range + 1) / 2;
+        return range;
+    }
+
+    /** Label count of each refinement pass. */
+    int refineLabels() const { return 2 * refineRadius + 1; }
+};
+
+/**
+ * Refinement problem around a per-pixel base disparity: label l is
+ * an offset in [-refineRadius, refineRadius]; disparities clamp to
+ * [0, max_disparity].
+ */
+mrf::MrfProblem
+buildRefineStereoProblem(const img::ImageU8 &left,
+                         const img::ImageU8 &right,
+                         const img::LabelMap &base_disparity,
+                         int refine_radius, int max_disparity,
+                         const StereoParams &stereo);
+
+/** Upsample a disparity map 2x, doubling the values. */
+img::LabelMap upsampleDisparity2x(const img::LabelMap &src, int width,
+                                  int height);
+
+struct HierarchicalStereoResult
+{
+    img::LabelMap disparity; ///< full-range disparity per pixel
+    double badPixelPercent = 0.0; ///< vs ground truth when provided
+    double rmsError = 0.0;
+    int maxLabelsUsed = 0;   ///< largest single-problem label count
+};
+
+/**
+ * Full coarse-to-fine estimation; @p gt may be null (metrics stay
+ * zero).
+ */
+HierarchicalStereoResult
+runHierarchicalStereo(const img::ImageU8 &left,
+                      const img::ImageU8 &right,
+                      mrf::LabelSampler &sampler,
+                      const mrf::SolverConfig &solver,
+                      const HierarchicalStereoParams &params,
+                      const img::LabelMap *gt = nullptr);
+
+} // namespace apps
+} // namespace retsim
+
+#endif // RETSIM_APPS_STEREO_HIERARCHICAL_HH

@@ -1,0 +1,96 @@
+#include "core/energy_stage.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/fixed_point.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace core {
+
+EnergyStage::EnergyStage(mrf::DistanceKind kind,
+                         std::vector<std::array<int, 2>> label_values,
+                         std::uint32_t weight_q4,
+                         std::uint32_t distance_tau,
+                         unsigned energy_bits)
+    : kind_(kind), values_(std::move(label_values)),
+      weightQ4_(weight_q4), distanceTau_(distance_tau),
+      energyBits_(energy_bits)
+{
+    RETSIM_ASSERT(!values_.empty() && values_.size() <= 64,
+                  "label-value LUT outside the RSU range: ",
+                  values_.size());
+    RETSIM_ASSERT(energy_bits >= 1 && energy_bits <= 16,
+                  "energy width out of range: ", energy_bits);
+    RETSIM_ASSERT(weight_q4 > 0, "smoothness weight must be nonzero");
+}
+
+EnergyStage
+EnergyStage::scalarLabels(mrf::DistanceKind kind, int num_labels,
+                          std::uint32_t weight_q4,
+                          std::uint32_t distance_tau,
+                          unsigned energy_bits)
+{
+    RETSIM_ASSERT(num_labels >= 1, "need at least one label");
+    std::vector<std::array<int, 2>> values(num_labels);
+    for (int l = 0; l < num_labels; ++l)
+        values[l] = {l, 0};
+    return EnergyStage(kind, std::move(values), weight_q4,
+                       distance_tau, energy_bits);
+}
+
+std::uint32_t
+EnergyStage::labelDistance(int a, int b) const
+{
+    RETSIM_ASSERT(a >= 0 && a < static_cast<int>(values_.size()) &&
+                      b >= 0 && b < static_cast<int>(values_.size()),
+                  "label out of LUT range");
+    const auto &va = values_[a];
+    const auto &vb = values_[b];
+    switch (kind_) {
+      case mrf::DistanceKind::Binary:
+        return va == vb ? 0u : 1u;
+      case mrf::DistanceKind::Absolute:
+        return static_cast<std::uint32_t>(std::abs(va[0] - vb[0]) +
+                                          std::abs(va[1] - vb[1]));
+      case mrf::DistanceKind::Squared: {
+        std::int64_t dx = va[0] - vb[0];
+        std::int64_t dy = va[1] - vb[1];
+        return static_cast<std::uint32_t>(dx * dx + dy * dy);
+      }
+    }
+    RETSIM_PANIC("unhandled distance kind");
+}
+
+std::uint32_t
+EnergyStage::compute(std::uint32_t singleton_q,
+                     std::span<const int> neighbor_labels,
+                     int label) const
+{
+    // Eq. 1 in integer arithmetic: accumulate weighted, truncated
+    // doubleton distances over the present neighbors, add the
+    // singleton, saturate to the output width.
+    std::uint64_t acc = 0;
+    for (int q : neighbor_labels) {
+        std::uint64_t d = labelDistance(label, q);
+        if (distanceTau_ > 0 && d > distanceTau_)
+            d = distanceTau_;
+        acc += (d * weightQ4_) >> kWeightFractionBits;
+    }
+    acc += singleton_q;
+    std::uint64_t max = util::maxUnsigned(energyBits_);
+    return static_cast<std::uint32_t>(acc > max ? max : acc);
+}
+
+unsigned
+EnergyStage::lutBits() const
+{
+    // Two 6-bit-class components per entry; model each stored
+    // component as 8 bits of SRAM (sign + value), matching the
+    // Table III label-LUT granularity.
+    return static_cast<unsigned>(values_.size()) * 2 * 8;
+}
+
+} // namespace core
+} // namespace retsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The RSU-G energy-computation stage (Fig. 2b/10 stage 2, Sec. IV-B.1).
+ *
+ * In hardware the conditional energy is not an input: the stage
+ * receives the candidate label, the four neighbors' current labels
+ * and the pixel's (pre-computed) singleton cost, looks the labels'
+ * *application values* up in the label-value LUT — the "LUT to store
+ * all possible label values" whose area/power Table III itemizes —
+ * applies the configured distance function per component, truncates,
+ * scales by the fixed-point smoothness weight and accumulates with
+ * saturation into the Energy_bits-wide result (Eq. 1).
+ *
+ * This model computes bit-exact integer energies and is
+ * cross-checked against the float-path mrf::MrfProblem conditionals
+ * in the tests, closing the loop between the application-side energy
+ * construction and what the silicon datapath would produce.
+ */
+
+#ifndef RETSIM_CORE_ENERGY_STAGE_HH
+#define RETSIM_CORE_ENERGY_STAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mrf/energy.hh"
+
+namespace retsim {
+namespace core {
+
+class EnergyStage
+{
+  public:
+    /** Fixed-point fraction bits of the smoothness weight (Q4). */
+    static constexpr unsigned kWeightFractionBits = 4;
+
+    /**
+     * @param kind Doubleton distance function (configured once at
+     *        application start, Sec. IV-B.1).
+     * @param label_values Application value(s) of each label — 1 or 2
+     *        components (scalar disparities/segments, 2-D motion
+     *        vectors).  At most 64 entries (the RSU label limit).
+     * @param weight_q4 Smoothness weight in Q4 fixed point (16 = 1.0).
+     * @param distance_tau Integer truncation applied to the raw
+     *        distance before weighting (0 = untruncated).
+     * @param energy_bits Saturating output width.
+     */
+    EnergyStage(mrf::DistanceKind kind,
+                std::vector<std::array<int, 2>> label_values,
+                std::uint32_t weight_q4, std::uint32_t distance_tau,
+                unsigned energy_bits = 8);
+
+    /** Scalar-label convenience: values are the label indices. */
+    static EnergyStage scalarLabels(mrf::DistanceKind kind,
+                                    int num_labels,
+                                    std::uint32_t weight_q4,
+                                    std::uint32_t distance_tau,
+                                    unsigned energy_bits = 8);
+
+    /**
+     * Compute the quantized conditional energy of @p label given the
+     * quantized singleton cost and the neighbors' current labels
+     * (out-of-image neighbors are simply omitted from the span).
+     */
+    std::uint32_t compute(std::uint32_t singleton_q,
+                          std::span<const int> neighbor_labels,
+                          int label) const;
+
+    /** Raw (untruncated, unweighted) distance between two labels. */
+    std::uint32_t labelDistance(int a, int b) const;
+
+    std::size_t numLabels() const { return values_.size(); }
+
+    /** Label-value LUT footprint in bits (feeds the cost model). */
+    unsigned lutBits() const;
+
+  private:
+    mrf::DistanceKind kind_;
+    std::vector<std::array<int, 2>> values_;
+    std::uint32_t weightQ4_;
+    std::uint32_t distanceTau_;
+    unsigned energyBits_;
+};
+
+} // namespace core
+} // namespace retsim
+
+#endif // RETSIM_CORE_ENERGY_STAGE_HH

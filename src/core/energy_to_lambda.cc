@@ -1,0 +1,136 @@
+#include "core/energy_to_lambda.hh"
+
+#include <cmath>
+
+#include "util/fixed_point.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace core {
+
+double
+realLambda(double e, double t, const RsuConfig &cfg)
+{
+    RETSIM_ASSERT(t > 0.0, "temperature must be positive");
+    return std::exp(-e / t) * static_cast<double>(cfg.lambdaMax());
+}
+
+std::uint32_t
+quantizeLambda(double e, double t, const RsuConfig &cfg)
+{
+    RETSIM_ASSERT(cfg.lambdaQuant != LambdaQuant::Float,
+                  "quantizeLambda called in float-lambda mode");
+    const std::uint32_t lambda_max = cfg.lambdaMax();
+    if (e <= 0.0)
+        return lambda_max; // E = 0 maps to the largest lambda
+
+    // Multiply by the scale and truncate to the nearest integer
+    // (Sec. III-C.2).
+    std::uint64_t li = util::truncateToInt(realLambda(e, t, cfg));
+    if (li < 1) {
+        // Probability too small for lambda_0: cut off, or clamp up to
+        // lambda_0 as the previous design did.
+        return cfg.probabilityCutoff ? 0u : 1u;
+    }
+    if (cfg.lambdaQuant == LambdaQuant::Pow2)
+        li = util::floorPow2(li);
+    if (li > lambda_max)
+        li = lambda_max;
+    return static_cast<std::uint32_t>(li);
+}
+
+LambdaLut::LambdaLut(const RsuConfig &cfg, double temperature)
+    : cfg_(cfg), temperature_(temperature)
+{
+    cfg.validate();
+    std::size_t entries = std::size_t{1} << cfg.energyBits;
+    table_.resize(entries);
+    for (std::size_t e = 0; e < entries; ++e)
+        table_[e] =
+            quantizeLambda(static_cast<double>(e), temperature, cfg);
+}
+
+std::uint32_t
+LambdaLut::lookup(std::uint64_t energy) const
+{
+    if (energy >= table_.size())
+        energy = table_.size() - 1;
+    return table_[energy];
+}
+
+unsigned
+LambdaLut::memoryBits() const
+{
+    return static_cast<unsigned>(table_.size()) * cfg_.lambdaBits;
+}
+
+unsigned
+LambdaLut::updateCycles(unsigned interface_bits) const
+{
+    RETSIM_ASSERT(interface_bits >= 1, "interface width must be >= 1");
+    return (memoryBits() + interface_bits - 1) / interface_bits;
+}
+
+LambdaComparator::LambdaComparator(const RsuConfig &cfg,
+                                   double temperature)
+    : cfg_(cfg), temperature_(temperature)
+{
+    cfg.validate();
+    // Derive boundaries by scanning the same quantization the LUT
+    // stores: codes are non-increasing in energy, so the boundary of a
+    // code is the largest energy still mapping to it.  Scanning makes
+    // the comparator bit-identical to the LUT by construction.
+    std::size_t entries = std::size_t{1} << cfg.energyBits;
+    std::uint32_t prev = 0;
+    for (std::size_t e = 0; e < entries; ++e) {
+        std::uint32_t code =
+            quantizeLambda(static_cast<double>(e), temperature, cfg);
+        if (e == 0) {
+            prev = code;
+            continue;
+        }
+        RETSIM_ASSERT(code <= prev,
+                      "lambda codes must be non-increasing in energy");
+        if (code != prev) {
+            if (prev != 0) {
+                boundaries_.push_back(e - 1);
+                codes_.push_back(prev);
+            }
+            prev = code;
+        }
+    }
+    if (prev != 0) {
+        boundaries_.push_back(entries - 1);
+        codes_.push_back(prev);
+    }
+    RETSIM_ASSERT(!codes_.empty(),
+                  "conversion table maps every energy to cut-off");
+}
+
+std::uint32_t
+LambdaComparator::convert(std::uint64_t energy) const
+{
+    for (std::size_t k = 0; k < boundaries_.size(); ++k) {
+        if (energy <= boundaries_[k])
+            return codes_[k];
+    }
+    // Beyond the last boundary: cut off, or clamp to the smallest
+    // supported rate when cut-off is disabled.
+    return cfg_.probabilityCutoff ? 0u : codes_.back();
+}
+
+unsigned
+LambdaComparator::memoryBits() const
+{
+    return static_cast<unsigned>(boundaries_.size()) * cfg_.energyBits;
+}
+
+unsigned
+LambdaComparator::updateCycles(unsigned interface_bits) const
+{
+    RETSIM_ASSERT(interface_bits >= 1, "interface width must be >= 1");
+    return (memoryBits() + interface_bits - 1) / interface_bits;
+}
+
+} // namespace core
+} // namespace retsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Energy-to-decay-rate conversion (Eq. 2 with the new design's
+ * scaling, cut-off and 2^n approximation).
+ *
+ * Two hardware implementations are modeled (Sec. IV-B.3):
+ *
+ *  - LambdaLut: the previous design's look-up table indexed by the
+ *    energy value (2^Energy_bits entries of Lambda_bits each — 1 Kbit
+ *    for E=8/L=4).  Updating it on a temperature change is slow.
+ *
+ *  - LambdaComparator: the new design's boundary registers — one
+ *    energy threshold per distinct lambda value, resolved with at most
+ *    uniqueLambdas() comparisons and only 32 bits of state for the
+ *    chosen design point.  Boundaries are derived from the same
+ *    quantization math, so the two implementations are bit-identical
+ *    (a property the tests assert).
+ *
+ * Both convert a *scaled* unsigned energy e' = E - E_min (or a raw
+ * energy when scaling is disabled) into an integer lambda code;
+ * code 0 means the label is cut off (probability too small to use
+ * lambda_0).
+ */
+
+#ifndef RETSIM_CORE_ENERGY_TO_LAMBDA_HH
+#define RETSIM_CORE_ENERGY_TO_LAMBDA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rsu_config.hh"
+
+namespace retsim {
+namespace core {
+
+/**
+ * Reference quantization: lambda code for scaled energy @p e at
+ * temperature @p t (Sec. III-C.2: multiply exp(-e/T) by the lambda
+ * scale, truncate to integer, cut off below 1, optionally round down
+ * to a power of two).
+ */
+std::uint32_t quantizeLambda(double e, double t, const RsuConfig &cfg);
+
+/** Continuous-valued decay rate multiplier exp(-e/T) * lambdaMax. */
+double realLambda(double e, double t, const RsuConfig &cfg);
+
+class LambdaLut
+{
+  public:
+    LambdaLut(const RsuConfig &cfg, double temperature);
+
+    /** Look up the lambda code; indices clamp to the last entry. */
+    std::uint32_t lookup(std::uint64_t energy) const;
+
+    double temperature() const { return temperature_; }
+    std::size_t entries() const { return table_.size(); }
+
+    /** Storage footprint: entries x Lambda_bits. */
+    unsigned memoryBits() const;
+
+    /**
+     * Cycles to rewrite the whole table through an @p interface_bits
+     * wide port — the pipeline stall a temperature update costs the
+     * previous design.
+     */
+    unsigned updateCycles(unsigned interface_bits = 8) const;
+
+  private:
+    RsuConfig cfg_;
+    double temperature_;
+    std::vector<std::uint32_t> table_;
+};
+
+class LambdaComparator
+{
+  public:
+    LambdaComparator(const RsuConfig &cfg, double temperature);
+
+    /** Resolve the lambda code by boundary comparisons. */
+    std::uint32_t convert(std::uint64_t energy) const;
+
+    double temperature() const { return temperature_; }
+
+    /**
+     * Boundary thresholds, largest-lambda first: energy <= bound[k]
+     * selects the k-th lambda value.  Size == number of distinct
+     * nonzero lambda codes.
+     */
+    const std::vector<std::uint64_t> &boundaries() const
+    {
+        return boundaries_;
+    }
+
+    /** Distinct nonzero lambda codes, aligned with boundaries(). */
+    const std::vector<std::uint32_t> &codes() const { return codes_; }
+
+    /** Storage footprint: boundaries x Energy_bits. */
+    unsigned memoryBits() const;
+
+    /** Cycles to refresh the boundary registers over an 8-bit port. */
+    unsigned updateCycles(unsigned interface_bits = 8) const;
+
+  private:
+    RsuConfig cfg_;
+    double temperature_;
+    std::vector<std::uint64_t> boundaries_;
+    std::vector<std::uint32_t> codes_;
+};
+
+} // namespace core
+} // namespace retsim
+
+#endif // RETSIM_CORE_ENERGY_TO_LAMBDA_HH

@@ -1,0 +1,238 @@
+#include "core/rsu_config.hh"
+
+#include <sstream>
+
+#include "ret/truncation.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace core {
+
+std::string
+toString(LambdaQuant v)
+{
+    switch (v) {
+      case LambdaQuant::Pow2:
+        return "pow2";
+      case LambdaQuant::Integer:
+        return "int";
+      case LambdaQuant::Float:
+        return "float";
+    }
+    return "unknown";
+}
+
+std::string
+toString(TimeQuant v)
+{
+    switch (v) {
+      case TimeQuant::Binned:
+        return "binned";
+      case TimeQuant::Float:
+        return "float";
+    }
+    return "unknown";
+}
+
+std::string
+toString(TieBreak v)
+{
+    switch (v) {
+      case TieBreak::Random:
+        return "random";
+      case TieBreak::First:
+        return "first";
+      case TieBreak::Last:
+        return "last";
+    }
+    return "unknown";
+}
+
+double
+RsuConfig::lambda0() const
+{
+    return ret::lambda0FromTruncation(truncation, tMaxBins());
+}
+
+std::uint32_t
+RsuConfig::lambdaMax() const
+{
+    if (lambdaQuant == LambdaQuant::Pow2)
+        return 1u << (lambdaBits - 1);
+    return (1u << lambdaBits) - 1;
+}
+
+unsigned
+RsuConfig::uniqueLambdas() const
+{
+    if (lambdaQuant == LambdaQuant::Pow2)
+        return lambdaBits; // 1, 2, 4, ..., 2^(L-1)
+    return (1u << lambdaBits) - 1;
+}
+
+void
+RsuConfig::validate() const
+{
+    RETSIM_ASSERT(energyBits >= 1 && energyBits <= 16,
+                  "energyBits out of range: ", energyBits);
+    RETSIM_ASSERT(lambdaBits >= 1 && lambdaBits <= 10,
+                  "lambdaBits out of range: ", lambdaBits);
+    RETSIM_ASSERT(timeBits >= 1 && timeBits <= 16,
+                  "timeBits out of range: ", timeBits);
+    RETSIM_ASSERT(truncation > 0.0 && truncation < 1.0,
+                  "truncation must lie in (0, 1): ", truncation);
+    // Note: probability cut-off without decay-rate scaling is a valid
+    // (if self-defeating) configuration — Fig. 5a evaluates it to show
+    // that every label gets cut off early in annealing.
+}
+
+std::string
+RsuConfig::describe() const
+{
+    // The toString() member shadows the namespace-scope enum
+    // printers; take them through function pointers.
+    std::string (*lq)(LambdaQuant) = &retsim::core::toString;
+    std::string (*tq)(TimeQuant) = &retsim::core::toString;
+    std::ostringstream oss;
+    oss << "RSU-G{E=" << (floatEnergy ? "float" : std::to_string(
+                                                      energyBits))
+        << ",L=" << lambdaBits << '/' << lq(lambdaQuant)
+        << (decayRateScaling ? ",scaled" : "")
+        << (probabilityCutoff ? ",cutoff" : "")
+        << ",T=" << timeBits << '/' << tq(timeQuant)
+        << ",trunc=" << truncation << '}';
+    return oss.str();
+}
+
+std::string
+RsuConfig::toString() const
+{
+    // The member name shadows the namespace-scope enum printers;
+    // take them through function pointers.
+    std::string (*lq)(LambdaQuant) = &retsim::core::toString;
+    std::string (*tq)(TimeQuant) = &retsim::core::toString;
+    std::string (*tb)(TieBreak) = &retsim::core::toString;
+    std::ostringstream oss;
+    oss << "energy_bits=" << energyBits
+        << " float_energy=" << (floatEnergy ? 1 : 0)
+        << " lambda_bits=" << lambdaBits
+        << " lambda_quant=" << lq(lambdaQuant)
+        << " scaling=" << (decayRateScaling ? 1 : 0)
+        << " cutoff=" << (probabilityCutoff ? 1 : 0)
+        << " time_bits=" << timeBits
+        << " time_quant=" << tq(timeQuant)
+        << " truncation=" << truncation
+        << " tie_break=" << tb(tieBreak)
+        << " truncation_policy="
+        << (truncationPolicy == TruncationPolicy::InfiniteTtf
+                ? "infinite"
+                : "clamp");
+    return oss.str();
+}
+
+RsuConfig
+RsuConfig::fromString(const std::string &text)
+{
+    RsuConfig cfg = RsuConfig::newDesign();
+    std::istringstream iss(text);
+    std::string token;
+    while (iss >> token) {
+        auto eq = token.find('=');
+        if (eq == std::string::npos)
+            RETSIM_FATAL("malformed config token '", token, "'");
+        std::string key = token.substr(0, eq);
+        std::string value = token.substr(eq + 1);
+
+        auto as_uint = [&] {
+            return static_cast<unsigned>(std::stoul(value));
+        };
+        auto as_bool = [&] { return value == "1" || value == "true"; };
+
+        if (key == "energy_bits") {
+            cfg.energyBits = as_uint();
+        } else if (key == "float_energy") {
+            cfg.floatEnergy = as_bool();
+        } else if (key == "lambda_bits") {
+            cfg.lambdaBits = as_uint();
+        } else if (key == "lambda_quant") {
+            if (value == "pow2")
+                cfg.lambdaQuant = LambdaQuant::Pow2;
+            else if (value == "int")
+                cfg.lambdaQuant = LambdaQuant::Integer;
+            else if (value == "float")
+                cfg.lambdaQuant = LambdaQuant::Float;
+            else
+                RETSIM_FATAL("unknown lambda_quant '", value, "'");
+        } else if (key == "scaling") {
+            cfg.decayRateScaling = as_bool();
+        } else if (key == "cutoff") {
+            cfg.probabilityCutoff = as_bool();
+        } else if (key == "time_bits") {
+            cfg.timeBits = as_uint();
+        } else if (key == "time_quant") {
+            if (value == "binned")
+                cfg.timeQuant = TimeQuant::Binned;
+            else if (value == "float")
+                cfg.timeQuant = TimeQuant::Float;
+            else
+                RETSIM_FATAL("unknown time_quant '", value, "'");
+        } else if (key == "truncation") {
+            cfg.truncation = std::stod(value);
+        } else if (key == "tie_break") {
+            if (value == "random")
+                cfg.tieBreak = TieBreak::Random;
+            else if (value == "first")
+                cfg.tieBreak = TieBreak::First;
+            else if (value == "last")
+                cfg.tieBreak = TieBreak::Last;
+            else
+                RETSIM_FATAL("unknown tie_break '", value, "'");
+        } else if (key == "truncation_policy") {
+            if (value == "infinite")
+                cfg.truncationPolicy = TruncationPolicy::InfiniteTtf;
+            else if (value == "clamp")
+                cfg.truncationPolicy =
+                    TruncationPolicy::ClampToLastBin;
+            else
+                RETSIM_FATAL("unknown truncation_policy '", value,
+                             "'");
+        } else {
+            RETSIM_FATAL("unknown config key '", key, "'");
+        }
+    }
+    cfg.validate();
+    return cfg;
+}
+
+RsuConfig
+RsuConfig::previousDesign()
+{
+    RsuConfig cfg;
+    cfg.energyBits = 8;
+    cfg.lambdaBits = 4;
+    cfg.lambdaQuant = LambdaQuant::Integer;
+    cfg.decayRateScaling = false;
+    cfg.probabilityCutoff = false; // clamp up to lambda_0 instead
+    cfg.timeBits = 5;
+    cfg.timeQuant = TimeQuant::Binned;
+    cfg.truncation = 0.004; // 4 RET replicas cover 99.6% of samples
+    return cfg;
+}
+
+RsuConfig
+RsuConfig::newDesign()
+{
+    RsuConfig cfg;
+    cfg.energyBits = 8;
+    cfg.lambdaBits = 4;
+    cfg.lambdaQuant = LambdaQuant::Pow2;
+    cfg.decayRateScaling = true;
+    cfg.probabilityCutoff = true;
+    cfg.timeBits = 5;
+    cfg.timeQuant = TimeQuant::Binned;
+    cfg.truncation = 0.5;
+    return cfg;
+}
+
+} // namespace core
+} // namespace retsim

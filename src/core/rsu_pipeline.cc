@@ -1,0 +1,323 @@
+#include "core/rsu_pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ttf_race.hh"
+#include "ret/truncation.hh"
+#include "rng/distributions.hh"
+#include "util/fixed_point.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace core {
+
+namespace {
+
+/** Front-end depth before the FIFO: label counter + energy stage. */
+constexpr unsigned kFrontStages = 2;
+
+/** One FIFO entry: a quantized label energy. */
+struct FifoEntry
+{
+    std::uint64_t energy;
+    std::size_t var;
+    int label;
+    bool last;
+};
+
+/** Book-keeping for one in-flight variable. */
+struct VarState
+{
+    std::uint64_t minEnergy = ~std::uint64_t{0};
+    bool minFinal = false;
+    double temperature = 0.0;
+    std::uint64_t frontStart = 0;
+    std::uint64_t lastCompletion = 0;
+    int bestLabel = -1;
+    unsigned bestBin = 0;
+    unsigned tiedAtBest = 0;
+    int issued = 0;
+    bool backStarted = false;
+};
+
+} // namespace
+
+RsuPipeline::RsuPipeline(const PipelineConfig &config, double temperature)
+    : config_(config), temperature_(temperature)
+{
+    config_.rsu.validate();
+    RETSIM_ASSERT(config_.rsu.lambdaQuant != LambdaQuant::Float &&
+                      !config_.rsu.floatEnergy &&
+                      config_.rsu.timeQuant == TimeQuant::Binned,
+                  "the cycle-level pipeline models hardware only; "
+                  "float escapes are for the functional sampler");
+    RETSIM_ASSERT(config_.binsPerCycle >= 1, "need >= 1 bin per cycle");
+    windowCycles_ =
+        std::max(1u, config_.rsu.tMaxBins() / config_.binsPerCycle);
+}
+
+PipelineRunResult
+RsuPipeline::run(const std::vector<PixelRequest> &requests,
+                 rng::Rng &gen)
+{
+    const RsuConfig &rsu = config_.rsu;
+    const double lambda0 = rsu.lambda0();
+    const unsigned t_max = rsu.tMaxBins();
+    const bool scaling = config_.newDesign && rsu.decayRateScaling;
+    const bool physical_circuit = rsu.lambdaQuant == LambdaQuant::Pow2;
+
+    // Conversion hardware at the current temperature.
+    double conv_temperature = temperature_;
+    std::unique_ptr<LambdaComparator> comparator;
+    std::unique_ptr<LambdaLut> lut;
+    auto rebuild = [&](double t) {
+        conv_temperature = t;
+        if (config_.newDesign)
+            comparator = std::make_unique<LambdaComparator>(rsu, t);
+        else
+            lut = std::make_unique<LambdaLut>(rsu, t);
+    };
+    rebuild(temperature_);
+    unsigned update_cycles = config_.newDesign
+                                 ? comparator->updateCycles(
+                                       config_.interfaceBits)
+                                 : lut->updateCycles(
+                                       config_.interfaceBits);
+
+    // One RET circuit per window cycle sustains one issue per cycle.
+    std::vector<ret::RetCircuit> circuits;
+    if (physical_circuit) {
+        ret::RetCircuitConfig rc;
+        rc.numConcentrations = rsu.lambdaBits;
+        rc.numReplicaSets =
+            ret::replicasForReuseSafety(rsu.truncation);
+        rc.timeBits = rsu.timeBits;
+        rc.truncation = rsu.truncation;
+        circuits.reserve(windowCycles_);
+        for (unsigned i = 0; i < windowCycles_; ++i)
+            circuits.emplace_back(rc);
+    }
+
+    // Per-variable state and global structures.
+    const std::size_t n = requests.size();
+    std::vector<VarState> vars(n);
+    std::deque<FifoEntry> fifo;
+    std::size_t max_labels = 1;
+    for (const auto &r : requests) {
+        RETSIM_ASSERT(!r.energies.empty(), "request with no labels");
+        max_labels = std::max(max_labels, r.energies.size());
+    }
+    const std::size_t fifo_capacity = 2 * max_labels;
+
+    PipelineRunResult result;
+    result.labels.assign(n, -1);
+
+    // Completion events for issued samples, ordered by cycle.
+    struct Completion
+    {
+        std::uint64_t cycle;
+        std::size_t var;
+        int label;
+        bool fired;
+        unsigned bin;
+        bool last;
+    };
+    std::deque<Completion> completions;
+
+    // The latest temperature requested at the front-end; every
+    // variable carries the value in force when it entered, so the
+    // back-end applies changes exactly at the right boundary.
+    double front_temperature = temperature_;
+    std::uint64_t transfer_ready = 0;
+
+    std::size_t front_var = 0; // variable being pushed
+    int front_label = 0;
+    std::size_t done_count = 0;
+    std::uint64_t cycle = 0;
+    std::uint64_t back_stalled_until = 0;
+    PipelineStats &stats = result.stats;
+
+    auto select_update = [&](VarState &vs, int label, bool fired,
+                             unsigned bin) {
+        if (!fired)
+            return;
+        if (vs.bestLabel < 0 || bin < vs.bestBin) {
+            vs.bestLabel = label;
+            vs.bestBin = bin;
+            vs.tiedAtBest = 1;
+        } else if (bin == vs.bestBin) {
+            ++vs.tiedAtBest;
+            switch (rsu.tieBreak) {
+              case TieBreak::Random:
+                if (gen.nextBounded(vs.tiedAtBest) == 0)
+                    vs.bestLabel = label;
+                break;
+              case TieBreak::First:
+                break;
+              case TieBreak::Last:
+                vs.bestLabel = label;
+                break;
+            }
+        }
+    };
+
+    while (done_count < n) {
+        RETSIM_ASSERT(cycle < (std::uint64_t{1} << 40),
+                      "pipeline failed to make progress");
+
+        // ---- retire completions scheduled for this cycle ------------
+        while (!completions.empty() &&
+               completions.front().cycle <= cycle) {
+            Completion c = completions.front();
+            completions.pop_front();
+            VarState &vs = vars[c.var];
+            select_update(vs, c.label, c.fired, c.bin);
+            if (c.last) {
+                vs.lastCompletion = cycle;
+                int chosen = vs.bestLabel;
+                if (chosen < 0) {
+                    // Nothing fired: the unit produces no sample and
+                    // the variable keeps its current label.
+                    chosen = requests[c.var].currentLabel;
+                }
+                result.labels[c.var] = chosen;
+                ++done_count;
+            }
+        }
+
+        // ---- back-end: pop/convert/issue one label per cycle --------
+        bool back_ready = cycle >= back_stalled_until;
+        if (back_ready && !fifo.empty()) {
+            const FifoEntry &head = fifo.front();
+            VarState &vs = vars[head.var];
+            bool eligible = !scaling || vs.minFinal;
+
+            if (eligible && !vs.backStarted) {
+                // Variable boundary: apply any temperature change the
+                // variable carries.
+                if (vs.temperature != conv_temperature) {
+                    ++stats.temperatureUpdates;
+                    if (config_.newDesign && config_.doubleBuffered) {
+                        // Shadow registers were filled in the
+                        // background; swap is free once the transfer
+                        // is done.
+                        if (transfer_ready > cycle) {
+                            std::uint64_t wait = transfer_ready - cycle;
+                            back_stalled_until = transfer_ready;
+                            stats.stallCycles += wait;
+                            eligible = false;
+                        } else {
+                            rebuild(vs.temperature);
+                        }
+                    } else {
+                        // Halt while the table/registers are rewritten
+                        // through the narrow interface.
+                        rebuild(vs.temperature);
+                        back_stalled_until = cycle + update_cycles;
+                        stats.stallCycles += update_cycles;
+                        eligible = false;
+                    }
+                }
+                if (eligible)
+                    vs.backStarted = true;
+            }
+
+            if (eligible && cycle >= back_stalled_until) {
+                FifoEntry entry = fifo.front();
+                fifo.pop_front();
+
+                std::uint64_t scaled =
+                    scaling ? util::satSub(entry.energy, vs.minEnergy)
+                            : entry.energy;
+                std::uint32_t code =
+                    config_.newDesign ? comparator->convert(scaled)
+                                      : lut->lookup(scaled);
+
+                bool fired = false;
+                unsigned bin = 0;
+                if (code > 0) {
+                    if (physical_circuit) {
+                        unsigned idx = util::log2Exact(code);
+                        auto s = circuits[stats.labelsEvaluated %
+                                          windowCycles_]
+                                     .sample(idx, gen);
+                        fired = s.fired;
+                        bin = s.bin;
+                    } else {
+                        double t = rng::sampleExponential(
+                            gen, static_cast<double>(code) * lambda0);
+                        if (t < static_cast<double>(t_max)) {
+                            fired = true;
+                            bin = static_cast<unsigned>(t) + 1;
+                        }
+                    }
+                }
+                ++stats.labelsEvaluated;
+                completions.push_back({cycle + windowCycles_ + 1,
+                                       entry.var, entry.label, fired,
+                                       bin, entry.last});
+            }
+        }
+
+        // ---- front-end: quantize and push one label per cycle -------
+        if (front_var < n && fifo.size() < fifo_capacity) {
+            const PixelRequest &req = requests[front_var];
+            VarState &vs = vars[front_var];
+            if (front_label == 0) {
+                vs.frontStart = cycle;
+                if (req.newTemperature) {
+                    front_temperature = *req.newTemperature;
+                    if (config_.newDesign && config_.doubleBuffered) {
+                        // Begin streaming the new boundaries into the
+                        // shadow registers immediately.
+                        transfer_ready = cycle + update_cycles;
+                    }
+                }
+                vs.temperature = front_temperature;
+            }
+            std::uint64_t q = util::quantizeUnsigned(
+                req.energies[front_label], rsu.energyBits);
+            vs.minEnergy = std::min(vs.minEnergy, q);
+            bool last =
+                front_label + 1 == static_cast<int>(req.energies.size());
+            fifo.push_back({q, front_var, front_label, last});
+            stats.maxFifoOccupancy =
+                std::max(stats.maxFifoOccupancy, fifo.size());
+            if (last) {
+                vs.minFinal = true;
+                ++front_var;
+                front_label = 0;
+            } else {
+                ++front_label;
+            }
+        }
+
+        ++cycle;
+    }
+
+    // ---- statistics --------------------------------------------------
+    stats.cycles = cycle;
+    double lat_sum = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+        double lat = static_cast<double>(vars[v].lastCompletion -
+                                         vars[v].frontStart) +
+                     kFrontStages;
+        lat_sum += lat;
+        if (v == 0)
+            stats.firstPixelLatency = static_cast<std::uint64_t>(lat);
+    }
+    stats.avgPixelLatency = lat_sum / static_cast<double>(n);
+    stats.throughputLabelsPerCycle =
+        static_cast<double>(stats.labelsEvaluated) /
+        static_cast<double>(stats.cycles);
+    for (const auto &c : circuits) {
+        stats.retSamples += c.totalSamples();
+        stats.retTruncated += c.truncatedSamples();
+        stats.retBleedThrough += c.bleedThroughSamples();
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace retsim

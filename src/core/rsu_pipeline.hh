@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cycle-level model of the RSU-G pipelines (Fig. 2b and Fig. 10).
+ *
+ * The model executes a stream of variable (pixel) evaluations, each a
+ * vector of conditional label energies, through an explicit cycle
+ * loop:
+ *
+ *  new design (Fig. 10) —
+ *   front-end: label counter -> energy computation -> energy FIFO,
+ *   tracking the running minimum energy of the variable being pushed;
+ *   back-end: pops one energy per cycle once the variable's minimum
+ *   is final (decay-rate scaling needs E_min over all M labels, which
+ *   is why the FIFO decouples the halves and why at steady state the
+ *   back-end works on variable v while the front-end fills v+1),
+ *   subtracts the min register, converts through the comparison-based
+ *   boundary registers, samples through a pool of RET circuits
+ *   (windowCycles replicas sustain one issue per cycle) and feeds the
+ *   selection comparator.  Temperature updates stream into shadow
+ *   boundary registers and swap at a variable boundary: zero stalls.
+ *
+ *  previous design (Fig. 2b) —
+ *   no FIFO decoupling (no scaling): conversion follows energy
+ *   computation directly, through the 1 Kbit LUT; a temperature
+ *   update halts the pipeline while the LUT is rewritten through the
+ *   8-bit interface.
+ *
+ * Both models sustain one label evaluation per cycle in steady state;
+ * the new design's per-pixel latency is larger (front-end must finish
+ * all M labels before the back-end starts) — exactly the trade
+ * described in Sec. IV-B.  The sampling stage uses the stateful
+ * ret::RetCircuit, so bleed-through statistics flow up to the
+ * pipeline run result.
+ */
+
+#ifndef RETSIM_CORE_RSU_PIPELINE_HH
+#define RETSIM_CORE_RSU_PIPELINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/energy_to_lambda.hh"
+#include "core/rsu_config.hh"
+#include "ret/ret_circuit.hh"
+#include "rng/rng.hh"
+
+namespace retsim {
+namespace core {
+
+struct PipelineConfig
+{
+    RsuConfig rsu = RsuConfig::newDesign();
+    /** New design: FIFO-decoupled scaling + comparator conversion. */
+    bool newDesign = true;
+    /** Shadow boundary registers hide temperature-update latency. */
+    bool doubleBuffered = true;
+    /** Width of the temperature-update interface (Sec. IV-B.3). */
+    unsigned interfaceBits = 8;
+    /** Time bins measured per core clock (the 8x clock multiplier). */
+    unsigned binsPerCycle = 8;
+};
+
+/** One pixel evaluation request. */
+struct PixelRequest
+{
+    std::vector<float> energies; ///< conditional energy per label
+    /** Label kept if no sample fires (all truncated / cut off). */
+    int currentLabel = 0;
+    /** Update the annealing temperature *before* this evaluation. */
+    std::optional<double> newTemperature;
+};
+
+struct PipelineStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t labelsEvaluated = 0;
+    std::uint64_t stallCycles = 0;       ///< back-end halted
+    std::uint64_t temperatureUpdates = 0;
+    std::size_t maxFifoOccupancy = 0;
+    double avgPixelLatency = 0.0;        ///< issue-to-result cycles
+    std::uint64_t firstPixelLatency = 0;
+    double throughputLabelsPerCycle = 0.0;
+    // RET circuit health
+    std::uint64_t retSamples = 0;
+    std::uint64_t retTruncated = 0;
+    std::uint64_t retBleedThrough = 0;
+};
+
+struct PipelineRunResult
+{
+    std::vector<int> labels; ///< chosen label per pixel request
+    PipelineStats stats;
+};
+
+class RsuPipeline
+{
+  public:
+    RsuPipeline(const PipelineConfig &config, double temperature);
+
+    /**
+     * Run a batch of pixel evaluations to completion and report the
+     * chosen labels plus timing statistics.  @p gen drives every
+     * stochastic device in the sampling stage.
+     */
+    PipelineRunResult run(const std::vector<PixelRequest> &requests,
+                          rng::Rng &gen);
+
+    const PipelineConfig &config() const { return config_; }
+
+    /** Observation window length in core clock cycles. */
+    unsigned windowCycles() const { return windowCycles_; }
+
+    /** RET circuit replicas needed to sustain 1 label/cycle. */
+    unsigned circuitReplicas() const { return windowCycles_; }
+
+  private:
+    PipelineConfig config_;
+    double temperature_;
+    unsigned windowCycles_;
+};
+
+} // namespace core
+} // namespace retsim
+
+#endif // RETSIM_CORE_RSU_PIPELINE_HH

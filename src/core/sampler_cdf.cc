@@ -1,0 +1,60 @@
+#include "core/sampler_cdf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace core {
+
+CdfLutSampler::CdfLutSampler(std::unique_ptr<rng::Rng> source,
+                             int max_labels)
+    : source_(std::move(source)), maxLabels_(max_labels)
+{
+    RETSIM_ASSERT(source_ != nullptr, "CDF sampler needs a source");
+    RETSIM_ASSERT(max_labels >= 1, "LUT capacity must be >= 1");
+}
+
+std::string
+CdfLutSampler::name() const
+{
+    return "cdf-lut(" + source_->name() + ")";
+}
+
+int
+CdfLutSampler::sample(std::span<const float> energies,
+                      double temperature, int current, rng::Rng &gen)
+{
+    (void)current;
+    (void)gen; // the entropy source under study is source_
+    RETSIM_ASSERT(!energies.empty(), "no labels to sample");
+    RETSIM_ASSERT(static_cast<int>(energies.size()) <= maxLabels_,
+                  "label count ", energies.size(),
+                  " exceeds CDF LUT capacity ", maxLabels_);
+    RETSIM_ASSERT(temperature > 0.0, "temperature must be positive");
+
+    float e_min = energies[0];
+    for (float e : energies)
+        e_min = std::min(e_min, e);
+
+    // Build the cumulative table the hardware would store, then
+    // invert it with one uniform draw from the device under study.
+    cdf_.resize(energies.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < energies.size(); ++i) {
+        acc += std::exp(-(static_cast<double>(energies[i]) - e_min) /
+                        temperature);
+        cdf_[i] = acc;
+    }
+
+    double u = source_->nextDouble() * acc;
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+        if (u < cdf_[i])
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(cdf_.size()) - 1;
+}
+
+} // namespace core
+} // namespace retsim

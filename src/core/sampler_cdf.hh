@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pseudo-RNG CDF-LUT sampler — the pure-CMOS alternative of Table IV.
+ *
+ * A conventional RNG (LFSR, mt19937, or a true-RNG model) lacks
+ * programmability: to sample a parameterized distribution it must
+ * store the target cumulative distribution in a LUT and invert it with
+ * a uniform draw (Sec. IV-C).  This sampler reproduces that structure
+ * so the quality of LFSR/mt19937-driven Gibbs sampling can be compared
+ * against the RSU-G on the same applications, and its LUT size feeds
+ * the area model.
+ *
+ * The sampler owns its entropy source (that is the device under
+ * study); the solver-provided generator is ignored.
+ */
+
+#ifndef RETSIM_CORE_SAMPLER_CDF_HH
+#define RETSIM_CORE_SAMPLER_CDF_HH
+
+#include <memory>
+#include <vector>
+
+#include "mrf/sampler.hh"
+
+namespace retsim {
+namespace core {
+
+class CdfLutSampler : public mrf::LabelSampler
+{
+  public:
+    /**
+     * @param source Entropy source under study (owned).
+     * @param max_labels Capacity of the CDF LUT; feeds the area model
+     *        (LUT size is proportional to the label limit).
+     */
+    CdfLutSampler(std::unique_ptr<rng::Rng> source,
+                  int max_labels = 64);
+
+    int sample(std::span<const float> energies, double temperature,
+               int current, rng::Rng &gen) override;
+
+    std::string name() const override;
+
+    int maxLabels() const { return maxLabels_; }
+
+  private:
+    std::unique_ptr<rng::Rng> source_;
+    int maxLabels_;
+    std::vector<double> cdf_; // scratch
+};
+
+} // namespace core
+} // namespace retsim
+
+#endif // RETSIM_CORE_SAMPLER_CDF_HH

@@ -1,0 +1,101 @@
+#include "core/sampler_rsu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ttf_race.hh"
+#include "util/fixed_point.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace core {
+
+RsuSampler::RsuSampler(const RsuConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+std::string
+RsuSampler::name() const
+{
+    return cfg_.describe();
+}
+
+int
+RsuSampler::sample(std::span<const float> energies, double temperature,
+                   int current, rng::Rng &gen)
+{
+    RETSIM_ASSERT(!energies.empty(), "no labels to sample");
+    RETSIM_ASSERT(temperature > 0.0, "temperature must be positive");
+    ++totalSamples_;
+
+    // Rebuild the energy-to-lambda conversion when the annealing
+    // temperature moves (the LUT rewrite / boundary-register refresh
+    // of Sec. IV-B.3).
+    bool use_lut = cfg_.lambdaQuant != LambdaQuant::Float &&
+                   !cfg_.floatEnergy;
+    if (temperature != cachedTemperature_) {
+        cachedTemperature_ = temperature;
+        ++conversionRebuilds_;
+        if (use_lut)
+            lut_ = std::make_unique<LambdaLut>(cfg_, temperature);
+    }
+
+    const std::size_t m = energies.size();
+    const double lambda0 = cfg_.lambda0();
+
+    // Stage 1-2: energy computation output quantization.
+    // Stage 2b (new design): decay-rate scaling, E' = E - E_min.
+    // Stage 3: energy-to-lambda conversion.
+    double quantized_min = 0.0;
+    if (cfg_.decayRateScaling) {
+        if (cfg_.floatEnergy) {
+            double e_min = energies[0];
+            for (float e : energies)
+                e_min = std::min(e_min, static_cast<double>(e));
+            quantized_min = std::max(e_min, 0.0);
+        } else {
+            std::uint64_t e_min = util::maxUnsigned(cfg_.energyBits);
+            for (float e : energies)
+                e_min = std::min(
+                    e_min, util::quantizeUnsigned(e, cfg_.energyBits));
+            quantized_min = static_cast<double>(e_min);
+        }
+    }
+
+    rates_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        double e = cfg_.floatEnergy
+                       ? std::max(static_cast<double>(energies[i]), 0.0)
+                       : static_cast<double>(util::quantizeUnsigned(
+                             energies[i], cfg_.energyBits));
+        double scaled = e - quantized_min;
+        if (cfg_.lambdaQuant == LambdaQuant::Float) {
+            rates_[i] = realLambda(scaled, temperature, cfg_) * lambda0;
+        } else if (use_lut) {
+            rates_[i] =
+                static_cast<double>(
+                    lut_->lookup(static_cast<std::uint64_t>(scaled))) *
+                lambda0;
+        } else {
+            rates_[i] = static_cast<double>(quantizeLambda(
+                            scaled, temperature, cfg_)) *
+                        lambda0;
+        }
+    }
+
+    // Stages 4-5: sample the exponentials and select first-to-fire.
+    RaceOutcome outcome = runTtfRace(rates_, cfg_, gen);
+    if (outcome.winner < 0) {
+        // Every label was truncated or cut off; the unit produces no
+        // sample and the variable keeps its current label.
+        ++noSampleEvents_;
+        return current;
+    }
+    if (outcome.tie)
+        ++tieEvents_;
+    return outcome.winner;
+}
+
+} // namespace core
+} // namespace retsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Functional simulator of an RSU-G label sampler.
+ *
+ * Replays the RSU-G pipeline math stage by stage for one pixel
+ * evaluation: quantize the conditional energies to Energy_bits,
+ * optionally rescale by the minimum energy (decay-rate scaling,
+ * Eq. 4), convert each energy to a quantized decay rate (LUT /
+ * comparator math with probability cut-off and 2^n approximation) and
+ * race the resulting exponentials through the truncated, binned time
+ * measurement.  The RsuConfig selects between the previous and new
+ * designs and every intermediate ablation, including the float
+ * escapes used for the paper's sequential precision methodology.
+ *
+ * The conversion table depends on the annealing temperature, so it is
+ * rebuilt whenever T changes; the rebuild count is exposed because the
+ * two hardware implementations pay very different stall costs for it
+ * (Sec. IV-B.3) — the cycle-level pipeline model consumes it.
+ */
+
+#ifndef RETSIM_CORE_SAMPLER_RSU_HH
+#define RETSIM_CORE_SAMPLER_RSU_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/energy_to_lambda.hh"
+#include "core/rsu_config.hh"
+#include "mrf/sampler.hh"
+
+namespace retsim {
+namespace core {
+
+class RsuSampler : public mrf::LabelSampler
+{
+  public:
+    explicit RsuSampler(const RsuConfig &cfg);
+
+    int sample(std::span<const float> energies, double temperature,
+               int current, rng::Rng &gen) override;
+
+    std::string name() const override;
+
+    const RsuConfig &config() const { return cfg_; }
+
+    // ---- instrumentation ---------------------------------------------
+    /** Pixel evaluations where no label fired (current label kept). */
+    std::uint64_t noSampleEvents() const { return noSampleEvents_; }
+    /** Pixel evaluations decided by a bin tie-break. */
+    std::uint64_t tieEvents() const { return tieEvents_; }
+    /** Temperature changes that forced a conversion-table rebuild. */
+    std::uint64_t conversionRebuilds() const
+    {
+        return conversionRebuilds_;
+    }
+    std::uint64_t totalSamples() const { return totalSamples_; }
+
+  private:
+    /** Lambda code (or real rate multiplier) for one scaled energy. */
+    double rateFor(double scaled_energy, double temperature);
+
+    RsuConfig cfg_;
+    double cachedTemperature_ = -1.0;
+    std::unique_ptr<LambdaLut> lut_;
+    std::vector<double> rates_; // scratch
+
+    std::uint64_t noSampleEvents_ = 0;
+    std::uint64_t tieEvents_ = 0;
+    std::uint64_t conversionRebuilds_ = 0;
+    std::uint64_t totalSamples_ = 0;
+};
+
+} // namespace core
+} // namespace retsim
+
+#endif // RETSIM_CORE_SAMPLER_RSU_HH

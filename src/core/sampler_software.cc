@@ -1,0 +1,33 @@
+#include "core/sampler_software.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace core {
+
+int
+SoftwareSampler::sample(std::span<const float> energies,
+                        double temperature, int current, rng::Rng &gen)
+{
+    (void)current;
+    RETSIM_ASSERT(!energies.empty(), "no labels to sample");
+    RETSIM_ASSERT(temperature > 0.0, "temperature must be positive");
+
+    float e_min = energies[0];
+    for (float e : energies)
+        e_min = std::min(e_min, e);
+
+    weights_.resize(energies.size());
+    for (std::size_t i = 0; i < energies.size(); ++i)
+        weights_[i] = std::exp(-(static_cast<double>(energies[i]) -
+                                 e_min) /
+                               temperature);
+    return static_cast<int>(rng::sampleCategorical(gen, weights_));
+}
+
+} // namespace core
+} // namespace retsim

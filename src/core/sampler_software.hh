@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Double-precision software Gibbs sampler — the quality reference.
+ *
+ * Computes p(label i) proportional to exp(-E_i / T) in IEEE double
+ * precision and samples the categorical directly, exactly what the
+ * paper's software-only MATLAB baseline does (Sec. III-A).  Energies
+ * are shifted by their minimum before exponentiation; the shift is
+ * mathematically exact (it cancels in the normalization) and avoids
+ * underflow at low temperatures.
+ */
+
+#ifndef RETSIM_CORE_SAMPLER_SOFTWARE_HH
+#define RETSIM_CORE_SAMPLER_SOFTWARE_HH
+
+#include <vector>
+
+#include "mrf/sampler.hh"
+
+namespace retsim {
+namespace core {
+
+class SoftwareSampler : public mrf::LabelSampler
+{
+  public:
+    SoftwareSampler() = default;
+
+    int sample(std::span<const float> energies, double temperature,
+               int current, rng::Rng &gen) override;
+
+    std::string name() const override { return "software-float"; }
+
+  private:
+    std::vector<double> weights_; // scratch, reused across calls
+};
+
+} // namespace core
+} // namespace retsim
+
+#endif // RETSIM_CORE_SAMPLER_SOFTWARE_HH

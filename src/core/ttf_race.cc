@@ -1,0 +1,94 @@
+#include "core/ttf_race.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "rng/distributions.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace core {
+
+namespace {
+
+RaceOutcome
+raceBinned(std::span<const double> rates, const RsuConfig &cfg,
+           rng::Rng &gen)
+{
+    const double t_max = static_cast<double>(cfg.tMaxBins());
+    RaceOutcome out;
+    unsigned best_bin = 0;
+    unsigned tied = 0;
+
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (!(rates[i] > 0.0))
+            continue;
+        double t = rng::sampleExponential(gen, rates[i]);
+        unsigned bin;
+        if (t >= t_max) {
+            if (cfg.truncationPolicy == TruncationPolicy::InfiniteTtf)
+                continue; // truncated: "occurs at infinity"
+            bin = cfg.tMaxBins(); // rounded to the window end
+        } else {
+            bin = static_cast<unsigned>(t) + 1;
+        }
+        ++out.contenders;
+
+        if (out.winner < 0 || bin < best_bin) {
+            out.winner = static_cast<int>(i);
+            best_bin = bin;
+            tied = 1;
+        } else if (bin == best_bin) {
+            ++tied;
+            switch (cfg.tieBreak) {
+              case TieBreak::Random:
+                // Reservoir choice keeps each tied label equally
+                // likely without storing the tied set.
+                if (gen.nextBounded(tied) == 0)
+                    out.winner = static_cast<int>(i);
+                break;
+              case TieBreak::First:
+                break; // keep the earlier label
+              case TieBreak::Last:
+                out.winner = static_cast<int>(i);
+                break;
+            }
+        }
+    }
+    out.winningBin = out.winner >= 0 ? best_bin : 0;
+    out.tie = tied > 1;
+    return out;
+}
+
+RaceOutcome
+raceFloat(std::span<const double> rates, rng::Rng &gen)
+{
+    RaceOutcome out;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (!(rates[i] > 0.0))
+            continue;
+        double t = rng::sampleExponential(gen, rates[i]);
+        ++out.contenders;
+        if (t < best) {
+            best = t;
+            out.winner = static_cast<int>(i);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+RaceOutcome
+runTtfRace(std::span<const double> rates, const RsuConfig &cfg,
+           rng::Rng &gen)
+{
+    RETSIM_ASSERT(!rates.empty(), "race needs at least one label");
+    if (cfg.timeQuant == TimeQuant::Float)
+        return raceFloat(rates, gen);
+    return raceBinned(rates, cfg, gen);
+}
+
+} // namespace core
+} // namespace retsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The first-to-fire time-to-fluorescence race (Sec. II-C, III-C.3).
+ *
+ * Each label's RET circuit samples an exponential TTF with its decay
+ * rate; the label with the shortest measured TTF wins.  In hardware
+ * the measurement is quantized to 2^Time_bits bins and truncated at
+ * the window end, so distinct continuous TTFs can tie (same bin) or
+ * vanish (beyond window) — the two effects Fig. 7 and Fig. 8 study.
+ * This kernel is exactly the last two RSU pipeline stages (sampling
+ * and selection) and is reused by the functional sampler, the Fig. 7
+ * bench and the cycle-level pipeline model.
+ */
+
+#ifndef RETSIM_CORE_TTF_RACE_HH
+#define RETSIM_CORE_TTF_RACE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rsu_config.hh"
+#include "rng/rng.hh"
+
+namespace retsim {
+namespace core {
+
+struct RaceOutcome
+{
+    int winner = -1;        ///< winning label, or -1 if nothing fired
+    unsigned winningBin = 0; ///< 1-based bin of the winner (binned mode)
+    unsigned contenders = 0; ///< labels that fired within the window
+    bool tie = false;       ///< winner shared its bin with another label
+};
+
+/**
+ * Run one race over per-label absolute decay rates (per time bin);
+ * rate <= 0 means the label is cut off and never fires.
+ *
+ * Binned mode draws each TTF, truncates beyond tMaxBins() and
+ * resolves bin ties with cfg.tieBreak.  Float mode compares the
+ * continuous TTFs (ties have measure zero), which realizes exact
+ * first-to-fire probabilities P(i) = rate_i / sum(rate).
+ */
+RaceOutcome runTtfRace(std::span<const double> rates,
+                       const RsuConfig &cfg, rng::Rng &gen);
+
+} // namespace core
+} // namespace retsim
+
+#endif // RETSIM_CORE_TTF_RACE_HH

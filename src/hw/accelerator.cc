@@ -1,0 +1,95 @@
+#include "hw/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace hw {
+
+AcceleratorModel::AcceleratorModel(const AcceleratorConfig &config)
+    : config_(config)
+{
+    RETSIM_ASSERT(config.units >= 1, "need at least one unit");
+    RETSIM_ASSERT(config.frequencyHz > 0.0, "frequency must be > 0");
+    RETSIM_ASSERT(config.memBandwidthBytes > 0.0,
+                  "bandwidth must be > 0");
+    config_.rsu.validate();
+}
+
+AcceleratorReport
+AcceleratorModel::evaluate(const FrameWorkload &w) const
+{
+    RETSIM_ASSERT(w.width >= 1 && w.height >= 1 && w.labels >= 1 &&
+                      w.iterations >= 1,
+                  "invalid workload");
+    AcceleratorReport report;
+
+    // Chromatic schedule: each of the two half-sweeps updates
+    // ceil(pixels/2) independent pixels; a unit spends M cycles per
+    // pixel (one label evaluation per cycle).
+    const double pixels = static_cast<double>(w.width) * w.height;
+    const double half = std::ceil(pixels / 2.0);
+    const double waves_per_half =
+        std::ceil(half / static_cast<double>(config_.units));
+    // Each wave occupies every unit for M cycles; two half-sweeps
+    // per iteration.
+    report.cyclesPerIteration = static_cast<std::uint64_t>(
+        2.0 * waves_per_half * w.labels);
+
+    report.computeSeconds = static_cast<double>(w.iterations) *
+                            static_cast<double>(
+                                report.cyclesPerIteration) /
+                            config_.frequencyHz;
+    report.memorySeconds = static_cast<double>(w.iterations) * pixels *
+                           config_.bytesPerPixelUpdate /
+                           config_.memBandwidthBytes;
+    report.totalSeconds =
+        std::max(report.computeSeconds, report.memorySeconds);
+    report.memoryBound = report.memorySeconds > report.computeSeconds;
+
+    // Useful work per available cycle: pixels * M label evaluations
+    // against units * cycles issued.
+    double useful = static_cast<double>(w.iterations) * pixels *
+                    static_cast<double>(w.labels);
+    double issued = static_cast<double>(config_.units) *
+                    report.totalSeconds * config_.frequencyHz;
+    report.utilization = issued > 0.0 ? useful / issued : 0.0;
+
+    Cost per_unit =
+        costModel_.newDesign(config_.rsu, config_.lightShare).total();
+    report.totalCost = per_unit.scaled(config_.units);
+    return report;
+}
+
+unsigned
+AcceleratorModel::saturationUnits(const FrameWorkload &w) const
+{
+    // Memory time is unit-independent; compute time scales ~1/units.
+    // Search for the crossover.
+    AcceleratorConfig probe = config_;
+    unsigned lo = 1, hi = 1;
+    for (;;) {
+        probe.units = hi;
+        AcceleratorModel m(probe);
+        if (m.evaluate(w).memoryBound)
+            break;
+        lo = hi;
+        hi *= 2;
+        RETSIM_ASSERT(hi <= (1u << 24), "no saturation point found");
+    }
+    while (lo + 1 < hi) {
+        unsigned mid = lo + (hi - lo) / 2;
+        probe.units = mid;
+        AcceleratorModel m(probe);
+        if (m.evaluate(w).memoryBound)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace hw
+} // namespace retsim

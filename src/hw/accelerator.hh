@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Discrete RSU-G accelerator organization model (Sec. II-C).
+ *
+ * The paper's discrete accelerator instantiates 336 RSU-Gs behind a
+ * 336 GB/s memory system.  This model captures the schedule such a
+ * part must run: a chromatic (checkerboard) Gibbs half-sweep updates
+ * pixels of one parity in parallel — mrf::CheckerboardGibbsSolver
+ * produces the numerically identical labeling — with each RSU-G
+ * retiring one label evaluation per cycle, bounded by the memory
+ * traffic of streaming neighbor labels and pixel data.  It reports
+ * per-iteration latency, achieved utilization, the compute/memory
+ * crossover, and the light-source sharing implications on area/power
+ * via the cost model.
+ */
+
+#ifndef RETSIM_HW_ACCELERATOR_HH
+#define RETSIM_HW_ACCELERATOR_HH
+
+#include <cstdint>
+
+#include "core/rsu_config.hh"
+#include "hw/cost_model.hh"
+
+namespace retsim {
+namespace hw {
+
+struct AcceleratorConfig
+{
+    unsigned units = 336;          ///< RSU-G count
+    double frequencyHz = 1e9;      ///< RSU clock
+    double memBandwidthBytes = 336e9;
+    double bytesPerPixelUpdate = 64.0; ///< labels + data + write-back
+    unsigned lightShare = 4;       ///< RSU-Gs per light-source set
+    core::RsuConfig rsu = core::RsuConfig::newDesign();
+};
+
+struct FrameWorkload
+{
+    int width = 320;
+    int height = 320;
+    int labels = 10;
+    int iterations = 100;
+};
+
+struct AcceleratorReport
+{
+    double computeSeconds = 0.0;  ///< RSU-bound execution time
+    double memorySeconds = 0.0;   ///< bandwidth-bound execution time
+    double totalSeconds = 0.0;    ///< max of the two
+    double utilization = 0.0;     ///< fraction of RSU cycles doing work
+    bool memoryBound = false;
+    std::uint64_t cyclesPerIteration = 0;
+    Cost totalCost;               ///< all units + shared optics
+};
+
+class AcceleratorModel
+{
+  public:
+    explicit AcceleratorModel(const AcceleratorConfig &config);
+
+    /** Execution-time and cost report for one workload. */
+    AcceleratorReport evaluate(const FrameWorkload &w) const;
+
+    /**
+     * Smallest unit count at which the workload becomes memory
+     * bound — adding RSU-Gs past this point buys nothing.
+     */
+    unsigned saturationUnits(const FrameWorkload &w) const;
+
+    const AcceleratorConfig &config() const { return config_; }
+
+  private:
+    AcceleratorConfig config_;
+    CostModel costModel_;
+};
+
+} // namespace hw
+} // namespace retsim
+
+#endif // RETSIM_HW_ACCELERATOR_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Execution-time model for stereo vision (Table II).
+ *
+ * The paper measures best-effort GPU implementations (float and 8-bit
+ * integer energies) against an RSU-G-augmented GPU.  With no GPU in
+ * this environment, the GPU side is an analytic throughput model with
+ * a resolution-dependent efficiency curve calibrated to the published
+ * SD measurements (per-pixel overhead amortizes and per-label-eval
+ * cost shrinks as the image grows — the effect that makes the paper's
+ * HD speedups larger than SD).  The RSU side is computed from first
+ * principles: one label evaluation per cycle at 1 GHz across the
+ * augmenting units, plus the GPU-side data-cost work that remains.
+ * A discrete-accelerator variant applies the paper's 336 GB/s memory
+ * bandwidth bound (Sec. II-C).
+ *
+ * Iteration count cancels in every speedup; it is fixed internally.
+ */
+
+#ifndef RETSIM_HW_PERF_MODEL_HH
+#define RETSIM_HW_PERF_MODEL_HH
+
+namespace retsim {
+namespace hw {
+
+struct StereoWorkload
+{
+    int width = 320;
+    int height = 320;
+    int labels = 10;
+};
+
+class PerfModel
+{
+  public:
+    PerfModel() = default;
+
+    /** Best-effort GPU, float-precision energies. */
+    double gpuFloatSeconds(const StereoWorkload &w) const;
+
+    /** Best-effort GPU, 8-bit integer energies. */
+    double gpuInt8Seconds(const StereoWorkload &w) const;
+
+    /** GPU augmented with RSU-G units (RSUG_aug row). */
+    double rsuAugmentedSeconds(const StereoWorkload &w) const;
+
+    /** Discrete accelerator with @p units RSU-Gs, bandwidth-bound. */
+    double discreteAcceleratorSeconds(const StereoWorkload &w,
+                                      unsigned units = 336) const;
+
+    double
+    speedupFloat(const StereoWorkload &w) const
+    {
+        return gpuFloatSeconds(w) / rsuAugmentedSeconds(w);
+    }
+
+    double
+    speedupInt8(const StereoWorkload &w) const
+    {
+        return gpuInt8Seconds(w) / rsuAugmentedSeconds(w);
+    }
+
+    /** RSU-G units assumed in the augmented GPU. */
+    unsigned augmentingUnits() const;
+
+  private:
+    double perPixelOverhead(double pixels) const;
+    double perLabelEvalTime(double pixels) const;
+};
+
+} // namespace hw
+} // namespace retsim
+
+#endif // RETSIM_HW_PERF_MODEL_HH

@@ -1,0 +1,118 @@
+#include "hw/system_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace hw {
+
+SystemSimulator::SystemSimulator(const SystemConfig &config)
+    : config_(config)
+{
+    RETSIM_ASSERT(config.units >= 1, "need at least one unit");
+    RETSIM_ASSERT(config.bytesPerCycle > 0.0,
+                  "memory bandwidth must be positive");
+    config_.pipeline.rsu.validate();
+}
+
+SystemRunResult
+SystemSimulator::run(const mrf::MrfProblem &problem,
+                     const mrf::AnnealingSchedule &annealing,
+                     std::uint64_t seed) const
+{
+    const int w = problem.width();
+    const int h = problem.height();
+    const int m = problem.numLabels();
+    const unsigned units = config_.units;
+
+    SystemRunResult result;
+    result.labels = img::LabelMap(w, h);
+    rng::Xoshiro256 init_gen(seed);
+    for (int &l : result.labels.data())
+        l = static_cast<int>(init_gen.nextBounded(m));
+
+    // Same-parity pixel lists, fixed for the whole run.
+    std::vector<std::pair<int, int>> color_pixels[2];
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            color_pixels[(x + y) & 1].emplace_back(x, y);
+
+    std::vector<float> energies(m);
+    std::uint64_t half_sweeps_memory_bound = 0;
+    std::uint64_t half_sweeps_total = 0;
+
+    for (int sweep = 0; sweep < annealing.sweeps; ++sweep) {
+        double temperature = annealing.temperature(sweep);
+        for (int color = 0; color < 2; ++color) {
+            const auto &pixels = color_pixels[color];
+            // Distribute this half-sweep's independent pixels across
+            // the units round-robin; every unit runs its stream
+            // through a cycle-level pipeline at this temperature.
+            std::vector<std::vector<core::PixelRequest>> streams(
+                units);
+            std::vector<std::vector<std::size_t>> owners(units);
+            for (std::size_t i = 0; i < pixels.size(); ++i) {
+                auto [x, y] = pixels[i];
+                problem.conditionalEnergies(result.labels, x, y,
+                                            energies);
+                core::PixelRequest req;
+                req.energies.assign(energies.begin(), energies.end());
+                req.currentLabel = result.labels(x, y);
+                unsigned u = static_cast<unsigned>(i % units);
+                streams[u].push_back(std::move(req));
+                owners[u].push_back(i);
+            }
+
+            std::uint64_t critical_path = 0;
+            for (unsigned u = 0; u < units; ++u) {
+                if (streams[u].empty())
+                    continue;
+                core::RsuPipeline pipeline(config_.pipeline,
+                                           temperature);
+                rng::Xoshiro256 gen(rng::streamSeed(
+                    seed, (static_cast<std::uint64_t>(sweep) * 2 +
+                           color) *
+                                  units +
+                              u + 1));
+                auto unit_result = pipeline.run(streams[u], gen);
+                critical_path = std::max(
+                    critical_path, unit_result.stats.cycles);
+                result.labelEvaluations +=
+                    unit_result.stats.labelsEvaluated;
+                result.retBleedThrough +=
+                    unit_result.stats.retBleedThrough;
+                for (std::size_t k = 0; k < owners[u].size(); ++k) {
+                    auto [x, y] = pixels[owners[u][k]];
+                    result.labels(x, y) = unit_result.labels[k];
+                }
+            }
+
+            std::uint64_t mem_cycles = static_cast<std::uint64_t>(
+                std::ceil(static_cast<double>(pixels.size()) *
+                          config_.bytesPerPixelUpdate /
+                          config_.bytesPerCycle));
+            result.computeCycles += critical_path;
+            result.memoryCycles += mem_cycles;
+            result.totalCycles += std::max(critical_path, mem_cycles);
+            ++half_sweeps_total;
+            if (mem_cycles > critical_path)
+                ++half_sweeps_memory_bound;
+        }
+    }
+
+    result.memoryBound =
+        2 * half_sweeps_memory_bound > half_sweeps_total;
+    if (result.totalCycles > 0) {
+        result.labelsPerCycle =
+            static_cast<double>(result.labelEvaluations) /
+            static_cast<double>(result.totalCycles);
+    }
+    return result;
+}
+
+} // namespace hw
+} // namespace retsim

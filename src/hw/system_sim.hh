@@ -1,0 +1,79 @@
+/**
+ * @file
+ * System-level simulation of the discrete RSU-G accelerator.
+ *
+ * Where hw::AcceleratorModel is analytic, this simulator *executes*
+ * an MRF problem on the modeled part: every pixel update of every
+ * annealing sweep flows through a cycle-level core::RsuPipeline, the
+ * chromatic (checkerboard) schedule distributes the independent
+ * same-parity pixels across the units, and a bandwidth-token memory
+ * model bounds each half-sweep.  The output is therefore both the
+ * *labeling* the silicon would produce and the *cycle count* it
+ * would take — the two sides the paper treats separately (quality in
+ * Sec. III, performance in Sec. IV-C) in one run.
+ */
+
+#ifndef RETSIM_HW_SYSTEM_SIM_HH
+#define RETSIM_HW_SYSTEM_SIM_HH
+
+#include <cstdint>
+
+#include "core/rsu_pipeline.hh"
+#include "img/image.hh"
+#include "mrf/gibbs.hh"
+#include "mrf/problem.hh"
+
+namespace retsim {
+namespace hw {
+
+struct SystemConfig
+{
+    unsigned units = 16; ///< concurrent RSU-G pipelines
+    core::PipelineConfig pipeline{};
+    /** Memory traffic of one pixel update (labels + data + result). */
+    double bytesPerPixelUpdate = 64.0;
+    /** Bytes the memory system moves per core cycle
+     *  (336 GB/s at 1 GHz = 336 B/cycle). */
+    double bytesPerCycle = 336.0;
+};
+
+struct SystemRunResult
+{
+    img::LabelMap labels;
+    std::uint64_t computeCycles = 0; ///< critical-path RSU cycles
+    std::uint64_t memoryCycles = 0;  ///< bandwidth-bound cycles
+    std::uint64_t totalCycles = 0;   ///< per-half-sweep max, summed
+    bool memoryBound = false;        ///< in the majority of half-sweeps
+    double labelsPerCycle = 0.0;     ///< achieved system throughput
+    std::uint64_t labelEvaluations = 0;
+    std::uint64_t retBleedThrough = 0;
+    double seconds(double frequency_hz = 1e9) const
+    {
+        return static_cast<double>(totalCycles) / frequency_hz;
+    }
+};
+
+class SystemSimulator
+{
+  public:
+    explicit SystemSimulator(const SystemConfig &config);
+
+    /**
+     * Anneal @p problem on the simulated part.  Every probabilistic
+     * choice comes from a unit's cycle-level pipeline; the returned
+     * labeling is what the accelerator would write back.
+     */
+    SystemRunResult run(const mrf::MrfProblem &problem,
+                        const mrf::AnnealingSchedule &annealing,
+                        std::uint64_t seed) const;
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+};
+
+} // namespace hw
+} // namespace retsim
+
+#endif // RETSIM_HW_SYSTEM_SIM_HH

@@ -1,0 +1,116 @@
+#include "img/dataset_io.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "img/pgm_io.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace img {
+
+StereoScene
+loadStereoScene(const std::string &name, const std::string &left_path,
+                const std::string &right_path,
+                const std::string &gt_path, int gt_scale,
+                int num_labels)
+{
+    RETSIM_ASSERT(gt_scale >= 1, "ground-truth scale must be >= 1");
+    RETSIM_ASSERT(num_labels >= 2 && num_labels <= 64,
+                  "label count outside the RSU-G range: ", num_labels);
+
+    StereoScene scene;
+    scene.name = name;
+    scene.numLabels = num_labels;
+    scene.left = readPgm(left_path);
+    scene.right = readPgm(right_path);
+    if (scene.left.width() != scene.right.width() ||
+        scene.left.height() != scene.right.height()) {
+        RETSIM_FATAL("stereo pair size mismatch: ", left_path, " vs ",
+                     right_path);
+    }
+
+    scene.gtDisparity =
+        LabelMap(scene.left.width(), scene.left.height(), 0);
+    if (!gt_path.empty()) {
+        ImageU8 gt = readPgm(gt_path);
+        if (gt.width() != scene.left.width() ||
+            gt.height() != scene.left.height()) {
+            RETSIM_FATAL("ground truth size mismatch: ", gt_path);
+        }
+        for (int y = 0; y < gt.height(); ++y) {
+            for (int x = 0; x < gt.width(); ++x) {
+                int d = gt(x, y) / gt_scale;
+                if (d >= num_labels) {
+                    RETSIM_FATAL("ground-truth disparity ", d,
+                                 " exceeds the ", num_labels,
+                                 "-label search range");
+                }
+                scene.gtDisparity(x, y) = d;
+            }
+        }
+    }
+    return scene;
+}
+
+MotionScene
+loadMotionScene(const std::string &name,
+                const std::string &frame0_path,
+                const std::string &frame1_path, int window_radius)
+{
+    RETSIM_ASSERT(window_radius >= 1, "window radius must be >= 1");
+    MotionScene scene;
+    scene.name = name;
+    scene.windowRadius = window_radius;
+    scene.frame0 = readPgm(frame0_path);
+    scene.frame1 = readPgm(frame1_path);
+    if (scene.frame0.width() != scene.frame1.width() ||
+        scene.frame0.height() != scene.frame1.height()) {
+        RETSIM_FATAL("frame size mismatch: ", frame0_path, " vs ",
+                     frame1_path);
+    }
+    scene.gtMotion = Image<Vec2i>(scene.frame0.width(),
+                                  scene.frame0.height());
+    return scene;
+}
+
+SegmentationScene
+loadSegmentationScene(const std::string &name,
+                      const std::string &image_path,
+                      const std::string &gt_path, int num_segments)
+{
+    RETSIM_ASSERT(num_segments >= 2 && num_segments <= 64,
+                  "segment count outside the RSU-G range");
+    SegmentationScene scene;
+    scene.name = name;
+    scene.numSegments = num_segments;
+    scene.image = readPgm(image_path);
+    scene.gtSegments =
+        LabelMap(scene.image.width(), scene.image.height(), 0);
+
+    if (!gt_path.empty()) {
+        ImageU8 gt = readPgm(gt_path);
+        if (gt.width() != scene.image.width() ||
+            gt.height() != scene.image.height()) {
+            RETSIM_FATAL("ground truth size mismatch: ", gt_path);
+        }
+        // Dense-remap the gray levels to segment indices.
+        std::map<int, int> index;
+        for (int y = 0; y < gt.height(); ++y) {
+            for (int x = 0; x < gt.width(); ++x) {
+                int v = gt(x, y);
+                auto [it, inserted] =
+                    index.try_emplace(v, static_cast<int>(index.size()));
+                scene.gtSegments(x, y) = it->second;
+            }
+        }
+        RETSIM_ASSERT(static_cast<int>(index.size()) <= num_segments,
+                      "ground truth has ", index.size(),
+                      " segments but only ", num_segments,
+                      " requested");
+    }
+    return scene;
+}
+
+} // namespace img
+} // namespace retsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Loading real datasets from PGM files.
+ *
+ * The benchmark suite runs on synthetic analogs because the
+ * Middlebury/BSD images are not redistributable — but a user who has
+ * them (e.g., Middlebury stereo pairs converted to PGM) can load them
+ * here and run every application and bench unchanged.  Ground-truth
+ * disparity maps follow the Middlebury convention of a per-dataset
+ * scale factor (gray value = disparity * scale).
+ */
+
+#ifndef RETSIM_IMG_DATASET_IO_HH
+#define RETSIM_IMG_DATASET_IO_HH
+
+#include <string>
+
+#include "img/synthetic.hh"
+
+namespace retsim {
+namespace img {
+
+/**
+ * Assemble a StereoScene from PGM files.
+ *
+ * @param gt_path Ground-truth disparity PGM, or empty for none (the
+ *        gtDisparity map is then all zeros and quality metrics are
+ *        meaningless — solving still works).
+ * @param gt_scale Gray-value units per disparity (Middlebury uses 8
+ *        for quarter-size pairs, 4 for half-size).
+ * @param num_labels Disparity search range; must cover the ground
+ *        truth and be <= 64 (the RSU-G label limit).
+ */
+StereoScene loadStereoScene(const std::string &name,
+                            const std::string &left_path,
+                            const std::string &right_path,
+                            const std::string &gt_path = "",
+                            int gt_scale = 8, int num_labels = 64);
+
+/**
+ * Assemble a MotionScene from two frame PGMs.  Ground truth is
+ * optional; flow files are not standardized in PGM, so when absent
+ * the gtMotion field is zeroed.
+ */
+MotionScene loadMotionScene(const std::string &name,
+                            const std::string &frame0_path,
+                            const std::string &frame1_path,
+                            int window_radius = 3);
+
+/**
+ * Assemble a SegmentationScene from an image PGM and an optional
+ * label-map PGM whose gray levels enumerate the segments.
+ */
+SegmentationScene loadSegmentationScene(const std::string &name,
+                                        const std::string &image_path,
+                                        const std::string &gt_path = "",
+                                        int num_segments = 4);
+
+} // namespace img
+} // namespace retsim
+
+#endif // RETSIM_IMG_DATASET_IO_HH

@@ -1,0 +1,99 @@
+#include "img/filters.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace img {
+
+namespace {
+
+/** One horizontal box pass; transposeOut writes transposed so two
+ * passes make a full 2-D blur without a separate vertical kernel. */
+ImageF
+boxPassTransposed(const ImageF &src, int radius)
+{
+    ImageF dst(src.height(), src.width());
+    float norm = 1.0f / static_cast<float>(2 * radius + 1);
+    for (int y = 0; y < src.height(); ++y) {
+        // Sliding window with border replication.
+        float acc = 0.0f;
+        for (int k = -radius; k <= radius; ++k)
+            acc += src.atClamped(k, y);
+        for (int x = 0; x < src.width(); ++x) {
+            dst(y, x) = acc * norm;
+            acc += src.atClamped(x + radius + 1, y) -
+                   src.atClamped(x - radius, y);
+        }
+    }
+    return dst;
+}
+
+} // namespace
+
+ImageF
+boxBlur(const ImageF &src, int radius)
+{
+    RETSIM_ASSERT(radius >= 0, "negative blur radius");
+    if (radius == 0)
+        return src;
+    // Horizontal pass (transposed), then "horizontal" again = vertical.
+    return boxPassTransposed(boxPassTransposed(src, radius), radius);
+}
+
+ImageF
+gaussianBlur(const ImageF &src, double sigma)
+{
+    if (sigma <= 0.0)
+        return src;
+    // Box radius giving an equivalent variance over three passes:
+    // var(box of radius r) = r(r+1)/3 per pass.
+    int r = static_cast<int>(
+        std::floor(std::sqrt(sigma * sigma * 3.0 / 3.0 + 0.25) - 0.5));
+    r = std::max(r, 1);
+    ImageF out = src;
+    for (int pass = 0; pass < 3; ++pass)
+        out = boxBlur(out, r);
+    return out;
+}
+
+ImageU8
+toU8(const ImageF &src)
+{
+    ImageU8 out(src.width(), src.height());
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            float v = std::round(src(x, y));
+            out(x, y) = static_cast<std::uint8_t>(
+                std::clamp(v, 0.0f, 255.0f));
+        }
+    }
+    return out;
+}
+
+ImageF
+toFloat(const ImageU8 &src)
+{
+    ImageF out(src.width(), src.height());
+    for (int y = 0; y < src.height(); ++y)
+        for (int x = 0; x < src.width(); ++x)
+            out(x, y) = static_cast<float>(src(x, y));
+    return out;
+}
+
+ImageF
+absDiff(const ImageU8 &a, const ImageU8 &b)
+{
+    RETSIM_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                  "size mismatch in absDiff");
+    ImageF out(a.width(), a.height());
+    for (int y = 0; y < a.height(); ++y)
+        for (int x = 0; x < a.width(); ++x)
+            out(x, y) = std::abs(static_cast<float>(a(x, y)) -
+                                 static_cast<float>(b(x, y)));
+    return out;
+}
+
+} // namespace img
+} // namespace retsim

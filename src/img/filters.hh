@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small separable filters used by the scene generators and data terms.
+ */
+
+#ifndef RETSIM_IMG_FILTERS_HH
+#define RETSIM_IMG_FILTERS_HH
+
+#include "img/image.hh"
+
+namespace retsim {
+namespace img {
+
+/** Separable box blur with the given radius (border-replicated). */
+ImageF boxBlur(const ImageF &src, int radius);
+
+/** Approximate Gaussian blur: three box passes (border-replicated). */
+ImageF gaussianBlur(const ImageF &src, double sigma);
+
+/** Convert float image to u8 with clamping to [0, 255]. */
+ImageU8 toU8(const ImageF &src);
+
+/** Convert u8 image to float. */
+ImageF toFloat(const ImageU8 &src);
+
+/** Per-pixel absolute difference of two same-size u8 images. */
+ImageF absDiff(const ImageU8 &a, const ImageU8 &b);
+
+} // namespace img
+} // namespace retsim
+
+#endif // RETSIM_IMG_FILTERS_HH

@@ -1,0 +1,92 @@
+#include "img/pgm_io.hh"
+
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace img {
+
+void
+writePgm(const ImageU8 &image, const std::string &path)
+{
+    RETSIM_ASSERT(!image.empty(), "refusing to write empty image");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        RETSIM_FATAL("cannot open '", path, "' for writing");
+    out << "P5\n"
+        << image.width() << ' ' << image.height() << "\n255\n";
+    out.write(reinterpret_cast<const char *>(image.data().data()),
+              static_cast<std::streamsize>(image.size()));
+    if (!out)
+        RETSIM_FATAL("short write to '", path, "'");
+}
+
+namespace {
+
+/** Skip whitespace and '#' comment lines in a PGM header. */
+int
+readHeaderInt(std::istream &in, const std::string &path)
+{
+    for (;;) {
+        int c = in.peek();
+        if (c == '#') {
+            std::string line;
+            std::getline(in, line);
+        } else if (std::isspace(c)) {
+            in.get();
+        } else {
+            break;
+        }
+    }
+    int v = -1;
+    in >> v;
+    if (!in || v < 0)
+        RETSIM_FATAL("malformed PGM header in '", path, "'");
+    return v;
+}
+
+} // namespace
+
+ImageU8
+readPgm(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        RETSIM_FATAL("cannot open '", path, "' for reading");
+    std::string magic;
+    in >> magic;
+    if (magic != "P5")
+        RETSIM_FATAL("'", path, "' is not a binary PGM (P5)");
+    int w = readHeaderInt(in, path);
+    int h = readHeaderInt(in, path);
+    int maxval = readHeaderInt(in, path);
+    if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 255)
+        RETSIM_FATAL("unsupported PGM geometry in '", path, "'");
+    in.get(); // the single whitespace after maxval
+
+    ImageU8 image(w, h);
+    in.read(reinterpret_cast<char *>(image.data().data()),
+            static_cast<std::streamsize>(image.size()));
+    if (!in)
+        RETSIM_FATAL("truncated PGM payload in '", path, "'");
+    return image;
+}
+
+ImageU8
+labelMapToGray(const LabelMap &labels, int num_labels)
+{
+    RETSIM_ASSERT(num_labels >= 1, "need at least one label");
+    ImageU8 out(labels.width(), labels.height());
+    int denom = std::max(1, num_labels - 1);
+    for (int y = 0; y < labels.height(); ++y) {
+        for (int x = 0; x < labels.width(); ++x) {
+            int v = std::clamp(labels(x, y), 0, num_labels - 1);
+            out(x, y) = static_cast<std::uint8_t>(v * 255 / denom);
+        }
+    }
+    return out;
+}
+
+} // namespace img
+} // namespace retsim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary PGM (P5) reading/writing plus label-map visualization.
+ *
+ * The examples write disparity/label maps as PGMs (the paper's Figs.
+ * 4, 6 and 9b are gray-coded disparity maps).  PGM needs no external
+ * dependencies and is viewable everywhere.
+ */
+
+#ifndef RETSIM_IMG_PGM_IO_HH
+#define RETSIM_IMG_PGM_IO_HH
+
+#include <string>
+
+#include "img/image.hh"
+
+namespace retsim {
+namespace img {
+
+/** Write an 8-bit grayscale image as binary PGM (P5). */
+void writePgm(const ImageU8 &image, const std::string &path);
+
+/** Read a binary PGM (P5) with maxval <= 255. */
+ImageU8 readPgm(const std::string &path);
+
+/**
+ * Gray-code a label map for viewing: label values are stretched over
+ * [0, 255] given the number of labels (light = high label, matching
+ * the paper's disparity color coding).
+ */
+ImageU8 labelMapToGray(const LabelMap &labels, int num_labels);
+
+} // namespace img
+} // namespace retsim
+
+#endif // RETSIM_IMG_PGM_IO_HH

@@ -1,0 +1,434 @@
+#include "img/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rng/rng.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace img {
+
+namespace {
+
+/** Stateless 2-D lattice hash -> [0, 1). */
+double
+latticeHash(std::int64_t ix, std::int64_t iy, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    h ^= static_cast<std::uint64_t>(ix) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(iy) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double
+smoothstep(double t)
+{
+    return t * t * (3.0 - 2.0 * t);
+}
+
+/** Gaussian draw via Box-Muller (one value per call, simple). */
+double
+gaussian(rng::Rng &gen, double sigma)
+{
+    double u1 = gen.nextDoubleOpenLow();
+    double u2 = gen.nextDouble();
+    return sigma * std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+std::uint8_t
+clampU8(double v)
+{
+    return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+/** A scene layer: a shape mask plus a texture. */
+struct Layer
+{
+    enum class Shape { Rect, Ellipse, Background };
+
+    Shape shape = Shape::Background;
+    double x0 = 0, y0 = 0, x1 = 0, y1 = 0; // rect bounds / ellipse box
+    std::uint64_t texSeed = 0;
+    int disparity = 0;   // stereo depth label
+    Vec2i motion{};      // flow label
+
+    bool
+    contains(double x, double y) const
+    {
+        switch (shape) {
+          case Shape::Background:
+            return true;
+          case Shape::Rect:
+            return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+          case Shape::Ellipse: {
+            double cx = 0.5 * (x0 + x1);
+            double cy = 0.5 * (y0 + y1);
+            double rx = 0.5 * (x1 - x0);
+            double ry = 0.5 * (y1 - y0);
+            double dx = (x - cx) / rx;
+            double dy = (y - cy) / ry;
+            return dx * dx + dy * dy <= 1.0;
+          }
+        }
+        return false;
+    }
+};
+
+/** Build one randomly placed object layer. */
+Layer
+makeObject(rng::Rng &gen, int width, int height)
+{
+    Layer obj;
+    obj.shape = (gen.next64() & 1) ? Layer::Shape::Rect
+                                   : Layer::Shape::Ellipse;
+    double w = (0.15 + 0.25 * gen.nextDouble()) * width;
+    double h = (0.15 + 0.25 * gen.nextDouble()) * height;
+    double cx = (0.10 + 0.80 * gen.nextDouble()) * width;
+    double cy = (0.10 + 0.80 * gen.nextDouble()) * height;
+    obj.x0 = cx - w / 2;
+    obj.x1 = cx + w / 2;
+    obj.y0 = cy - h / 2;
+    obj.y1 = cy + h / 2;
+    obj.texSeed = gen.next64();
+    return obj;
+}
+
+/** Topmost layer covering (x, y); layers sorted nearest-first. */
+const Layer &
+topLayer(const std::vector<Layer> &layers, double x, double y)
+{
+    for (const Layer &l : layers) {
+        if (l.contains(x, y))
+            return l;
+    }
+    RETSIM_PANIC("no layer covers pixel; background missing");
+}
+
+} // namespace
+
+double
+valueNoise(double x, double y, double scale, std::uint64_t seed)
+{
+    RETSIM_ASSERT(scale > 0.0, "noise scale must be positive");
+    double fx = x / scale;
+    double fy = y / scale;
+    std::int64_t ix = static_cast<std::int64_t>(std::floor(fx));
+    std::int64_t iy = static_cast<std::int64_t>(std::floor(fy));
+    double tx = smoothstep(fx - static_cast<double>(ix));
+    double ty = smoothstep(fy - static_cast<double>(iy));
+
+    double v00 = latticeHash(ix, iy, seed);
+    double v10 = latticeHash(ix + 1, iy, seed);
+    double v01 = latticeHash(ix, iy + 1, seed);
+    double v11 = latticeHash(ix + 1, iy + 1, seed);
+
+    double a = v00 + (v10 - v00) * tx;
+    double b = v01 + (v11 - v01) * tx;
+    return a + (b - a) * ty;
+}
+
+double
+textureIntensity(double x, double y, std::uint64_t seed)
+{
+    // Per-layer base level keeps surfaces distinguishable; octaves add
+    // the horizontal variation stereo matching needs.
+    double base = 60.0 + 140.0 * latticeHash(17, 29, seed);
+    double n = 0.55 * valueNoise(x, y, 13.0, seed ^ 0xa1) +
+               0.30 * valueNoise(x, y, 5.0, seed ^ 0xb2) +
+               0.15 * valueNoise(x, y, 2.0, seed ^ 0xc3);
+    return std::clamp(base + 150.0 * (n - 0.5), 0.0, 255.0);
+}
+
+// --------------------------------------------------------------------
+// Stereo
+
+StereoScene
+makeStereoScene(const StereoSceneSpec &spec, std::uint64_t seed)
+{
+    RETSIM_ASSERT(spec.numLabels >= 2, "need at least 2 disparities");
+    RETSIM_ASSERT(spec.numObjects >= 1, "need at least one object");
+    rng::Xoshiro256 gen(seed);
+
+    std::vector<Layer> layers;
+    for (int i = 0; i < spec.numObjects; ++i) {
+        Layer obj = makeObject(gen, spec.width, spec.height);
+        // Spread object depths over the full disparity range so every
+        // label regime is exercised; the nearest object pins the top
+        // label exactly.
+        double frac = spec.numObjects == 1
+                          ? 1.0
+                          : static_cast<double>(i) / (spec.numObjects - 1);
+        obj.disparity = 2 + static_cast<int>(
+            std::lround(frac * (spec.numLabels - 3)));
+        obj.disparity = std::clamp(obj.disparity, 1, spec.numLabels - 1);
+        layers.push_back(obj);
+    }
+    Layer background;
+    background.shape = Layer::Shape::Background;
+    background.texSeed = gen.next64();
+    background.disparity = 1;
+    layers.push_back(background);
+
+    // Nearest (largest disparity) first = correct occlusion order.
+    std::stable_sort(layers.begin(), layers.end(),
+                     [](const Layer &a, const Layer &b) {
+                         return a.disparity > b.disparity;
+                     });
+
+    StereoScene scene;
+    scene.name = spec.name;
+    scene.numLabels = spec.numLabels;
+    scene.left = ImageU8(spec.width, spec.height);
+    scene.right = ImageU8(spec.width, spec.height);
+    scene.gtDisparity = LabelMap(spec.width, spec.height);
+
+    for (int y = 0; y < spec.height; ++y) {
+        for (int x = 0; x < spec.width; ++x) {
+            // Left view: layers live in left-view coordinates.
+            const Layer &ll = topLayer(layers, x, y);
+            scene.left(x, y) = clampU8(
+                textureIntensity(x, y, ll.texSeed) +
+                gaussian(gen, spec.noiseSigma));
+            scene.gtDisparity(x, y) = ll.disparity;
+
+            // Right view: a layer point (u, y) appears at
+            // x = u - disparity, so pixel x shows layer point
+            // (x + d, y) of the nearest layer covering it there.
+            const Layer *hit = nullptr;
+            for (const Layer &l : layers) {
+                if (l.contains(x + l.disparity, y)) {
+                    hit = &l;
+                    break;
+                }
+            }
+            RETSIM_ASSERT(hit != nullptr, "background must cover view");
+            scene.right(x, y) = clampU8(
+                textureIntensity(x + hit->disparity, y, hit->texSeed) +
+                gaussian(gen, spec.noiseSigma));
+        }
+    }
+    return scene;
+}
+
+StereoSceneSpec
+stereoTeddySpec()
+{
+    StereoSceneSpec spec;
+    spec.name = "teddy";
+    spec.width = 168;
+    spec.height = 120;
+    spec.numLabels = 56;
+    spec.numObjects = 8;
+    return spec;
+}
+
+StereoSceneSpec
+stereoPosterSpec()
+{
+    StereoSceneSpec spec;
+    spec.name = "poster";
+    spec.width = 132;
+    spec.height = 104;
+    spec.numLabels = 30;
+    spec.numObjects = 7;
+    return spec;
+}
+
+StereoSceneSpec
+stereoArtSpec()
+{
+    StereoSceneSpec spec;
+    spec.name = "art";
+    spec.width = 128;
+    spec.height = 100;
+    spec.numLabels = 28;
+    spec.numObjects = 6;
+    return spec;
+}
+
+std::vector<StereoScene>
+standardStereoSuite()
+{
+    return {
+        makeStereoScene(stereoTeddySpec(), 0x7edd1ULL),
+        makeStereoScene(stereoPosterSpec(), 0x905712ULL),
+        makeStereoScene(stereoArtSpec(), 0xa27ULL),
+    };
+}
+
+// --------------------------------------------------------------------
+// Motion
+
+MotionScene
+makeMotionScene(const MotionSceneSpec &spec, std::uint64_t seed)
+{
+    RETSIM_ASSERT(spec.windowRadius >= 1, "window radius must be >= 1");
+    rng::Xoshiro256 gen(seed);
+    const int radius = spec.windowRadius;
+
+    std::vector<Layer> layers;
+    for (int i = 0; i < spec.numObjects; ++i) {
+        Layer obj = makeObject(gen, spec.width, spec.height);
+        // Nonzero motions drawn over the window; the background stays
+        // nearly static like the Middlebury scenes.
+        obj.motion.x = static_cast<int>(gen.nextBounded(2 * radius + 1)) -
+                       radius;
+        obj.motion.y = static_cast<int>(gen.nextBounded(2 * radius + 1)) -
+                       radius;
+        layers.push_back(obj);
+    }
+    Layer background;
+    background.shape = Layer::Shape::Background;
+    background.texSeed = gen.next64();
+    background.motion = {0, 0};
+    layers.push_back(background);
+
+    MotionScene scene;
+    scene.name = spec.name;
+    scene.windowRadius = radius;
+    scene.frame0 = ImageU8(spec.width, spec.height);
+    scene.frame1 = ImageU8(spec.width, spec.height);
+    scene.gtMotion = Image<Vec2i>(spec.width, spec.height);
+
+    for (int y = 0; y < spec.height; ++y) {
+        for (int x = 0; x < spec.width; ++x) {
+            const Layer &l0 = topLayer(layers, x, y);
+            scene.frame0(x, y) = clampU8(
+                textureIntensity(x, y, l0.texSeed) +
+                gaussian(gen, spec.noiseSigma));
+            scene.gtMotion(x, y) = l0.motion;
+
+            // Frame 1: layer point (u, v) moves to (u + mx, v + my),
+            // so pixel (x, y) shows point (x - mx, y - my) of the
+            // first (front-most in list order) layer covering it.
+            const Layer *hit = nullptr;
+            for (const Layer &l : layers) {
+                if (l.contains(x - l.motion.x, y - l.motion.y)) {
+                    hit = &l;
+                    break;
+                }
+            }
+            RETSIM_ASSERT(hit != nullptr, "background must cover view");
+            scene.frame1(x, y) = clampU8(
+                textureIntensity(x - hit->motion.x, y - hit->motion.y,
+                                 hit->texSeed) +
+                gaussian(gen, spec.noiseSigma));
+        }
+    }
+    return scene;
+}
+
+std::vector<MotionScene>
+standardMotionSuite()
+{
+    MotionSceneSpec venus;
+    venus.name = "venus";
+    MotionSceneSpec rubber;
+    rubber.name = "rubberwhale";
+    rubber.numObjects = 8;
+    MotionSceneSpec dime;
+    dime.name = "dimetrodon";
+    dime.numObjects = 5;
+    return {
+        makeMotionScene(venus, 0x7e45ULL),
+        makeMotionScene(rubber, 0x28a1eULL),
+        makeMotionScene(dime, 0xd13eULL),
+    };
+}
+
+// --------------------------------------------------------------------
+// Segmentation
+
+SegmentationScene
+makeSegmentationScene(const SegmentationSceneSpec &spec,
+                      std::uint64_t seed)
+{
+    RETSIM_ASSERT(spec.numSegments >= 2, "need at least 2 segments");
+    RETSIM_ASSERT(spec.numRegions >= spec.numSegments,
+                  "need at least one region per segment");
+    rng::Xoshiro256 gen(seed);
+
+    // Voronoi sites, each assigned to a segment class; every class is
+    // guaranteed at least one site.
+    struct Site
+    {
+        double x, y;
+        int segment;
+    };
+    std::vector<Site> sites(spec.numRegions);
+    for (int i = 0; i < spec.numRegions; ++i) {
+        sites[i].x = gen.nextDouble() * spec.width;
+        sites[i].y = gen.nextDouble() * spec.height;
+        sites[i].segment =
+            i < spec.numSegments
+                ? i
+                : static_cast<int>(gen.nextBounded(spec.numSegments));
+    }
+
+    // Well-separated class intensities spread over [40, 215].
+    SegmentationScene scene;
+    scene.name = spec.name;
+    scene.numSegments = spec.numSegments;
+    scene.classMeans.resize(spec.numSegments);
+    for (int s = 0; s < spec.numSegments; ++s) {
+        double frac = spec.numSegments == 1
+                          ? 0.5
+                          : static_cast<double>(s) / (spec.numSegments - 1);
+        scene.classMeans[s] = 40.0 + 175.0 * frac;
+    }
+
+    scene.image = ImageU8(spec.width, spec.height);
+    scene.gtSegments = LabelMap(spec.width, spec.height);
+
+    for (int y = 0; y < spec.height; ++y) {
+        for (int x = 0; x < spec.width; ++x) {
+            // Jittered Voronoi assignment gives organic boundaries.
+            double jx = x + 6.0 * (valueNoise(x, y, 9.0, seed ^ 0x11) -
+                                   0.5);
+            double jy = y + 6.0 * (valueNoise(x, y, 9.0, seed ^ 0x22) -
+                                   0.5);
+            int best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (int i = 0; i < spec.numRegions; ++i) {
+                double dx = jx - sites[i].x;
+                double dy = jy - sites[i].y;
+                double d = dx * dx + dy * dy;
+                if (d < best_d) {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            int segment = sites[best].segment;
+            scene.gtSegments(x, y) = segment;
+            scene.image(x, y) = clampU8(
+                scene.classMeans[segment] +
+                gaussian(gen, spec.noiseSigma));
+        }
+    }
+    return scene;
+}
+
+std::vector<SegmentationScene>
+standardSegmentationSuite(int count, int num_segments,
+                          std::uint64_t base_seed)
+{
+    std::vector<SegmentationScene> scenes;
+    scenes.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        SegmentationSceneSpec spec;
+        spec.name = "bsd_analog_" + std::to_string(i);
+        spec.numSegments = num_segments;
+        scenes.push_back(makeSegmentationScene(
+            spec, rng::streamSeed(base_seed, i)));
+    }
+    return scenes;
+}
+
+} // namespace img
+} // namespace retsim

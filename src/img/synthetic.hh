@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Procedural dataset generators.
+ *
+ * The paper evaluates on Middlebury stereo (teddy, poster, art),
+ * Middlebury optical flow (Venus, RubberWhale, Dimetrodon) and 30
+ * BSD300 images.  Those datasets are not redistributable here, so we
+ * generate synthetic analogs with exactly known dense ground truth and
+ * matched label counts (56/30/28 disparities; 7x7 = 49 motion labels;
+ * 2/4/6/8 segments).  Scenes are layered: a textured background plus
+ * several textured foreground objects, each at its own disparity /
+ * motion, rendered consistently into both views with correct occlusion
+ * ordering (nearer = larger disparity = on top).  Independent sensor
+ * noise is added per view so correspondence is non-trivial.
+ *
+ * All generators are deterministic functions of their seed.
+ */
+
+#ifndef RETSIM_IMG_SYNTHETIC_HH
+#define RETSIM_IMG_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "img/image.hh"
+
+namespace retsim {
+namespace img {
+
+/**
+ * Smooth hash-based value noise in [0, 1); deterministic in
+ * (x, y, seed).  Bilinear interpolation over a lattice of the given
+ * scale (in pixels).
+ */
+double valueNoise(double x, double y, double scale, std::uint64_t seed);
+
+/**
+ * Multi-octave texture intensity in [0, 255] used to paint scene
+ * layers; per-layer seeds give each surface a distinct texture.
+ */
+double textureIntensity(double x, double y, std::uint64_t seed);
+
+// --------------------------------------------------------------------
+// Stereo
+
+struct StereoSceneSpec
+{
+    std::string name = "synthetic";
+    int width = 144;
+    int height = 110;
+    int numLabels = 32;  ///< label count == max disparity + 1
+    int numObjects = 7;
+    double noiseSigma = 2.0;
+};
+
+struct StereoScene
+{
+    std::string name;
+    int numLabels = 0;
+    ImageU8 left;
+    ImageU8 right;
+    LabelMap gtDisparity; ///< per-pixel true disparity (left view)
+};
+
+StereoScene makeStereoScene(const StereoSceneSpec &spec,
+                            std::uint64_t seed);
+
+/** Analog of Middlebury *teddy*: 56 disparity labels. */
+StereoSceneSpec stereoTeddySpec();
+/** Analog of Middlebury *poster*: 30 disparity labels. */
+StereoSceneSpec stereoPosterSpec();
+/** Analog of Middlebury *art*: 28 disparity labels. */
+StereoSceneSpec stereoArtSpec();
+
+/** The three stereo benchmark scenes, generated at fixed seeds. */
+std::vector<StereoScene> standardStereoSuite();
+
+// --------------------------------------------------------------------
+// Motion (optical flow)
+
+struct MotionSceneSpec
+{
+    std::string name = "synthetic";
+    int width = 112;
+    int height = 96;
+    int windowRadius = 3; ///< motions in [-R, R]^2 -> (2R+1)^2 labels
+    int numObjects = 6;
+    double noiseSigma = 2.0;
+};
+
+struct MotionScene
+{
+    std::string name;
+    int windowRadius = 0;
+    ImageU8 frame0;
+    ImageU8 frame1;
+    Image<Vec2i> gtMotion; ///< per-pixel true motion (frame0 coords)
+};
+
+MotionScene makeMotionScene(const MotionSceneSpec &spec,
+                            std::uint64_t seed);
+
+/** Analogs of *Venus*, *RubberWhale*, *Dimetrodon* (49 labels each). */
+std::vector<MotionScene> standardMotionSuite();
+
+// --------------------------------------------------------------------
+// Segmentation
+
+struct SegmentationSceneSpec
+{
+    std::string name = "synthetic";
+    int width = 72;
+    int height = 72;
+    int numSegments = 4;
+    int numRegions = 14;  ///< Voronoi cells merged into the segments
+    double noiseSigma = 14.0;
+};
+
+struct SegmentationScene
+{
+    std::string name;
+    int numSegments = 0;
+    ImageU8 image;
+    LabelMap gtSegments;
+    std::vector<double> classMeans; ///< true per-segment intensities
+};
+
+SegmentationScene makeSegmentationScene(const SegmentationSceneSpec &spec,
+                                        std::uint64_t seed);
+
+/**
+ * BSD300 analog: @p count images at the given segment count, seeds
+ * derived from @p baseSeed + image index.
+ */
+std::vector<SegmentationScene>
+standardSegmentationSuite(int count, int num_segments,
+                          std::uint64_t base_seed = 9001);
+
+} // namespace img
+} // namespace retsim
+
+#endif // RETSIM_IMG_SYNTHETIC_HH

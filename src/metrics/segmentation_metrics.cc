@@ -1,0 +1,224 @@
+#include "metrics/segmentation_metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace metrics {
+
+namespace {
+
+void
+checkSameSize(const img::LabelMap &a, const img::LabelMap &b)
+{
+    RETSIM_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                  "label map size mismatch");
+    RETSIM_ASSERT(!a.empty(), "empty label map");
+}
+
+/** Remap arbitrary label values to dense 0..k-1 indices. */
+std::map<int, std::size_t>
+denseIndex(const img::LabelMap &m)
+{
+    std::map<int, std::size_t> index;
+    for (int v : m.data()) {
+        if (!index.count(v)) {
+            std::size_t next = index.size();
+            index[v] = next;
+        }
+    }
+    return index;
+}
+
+double
+entropyOf(const std::vector<std::uint64_t> &sums, std::uint64_t total)
+{
+    double h = 0.0;
+    for (std::uint64_t s : sums) {
+        if (s == 0)
+            continue;
+        double p = static_cast<double>(s) / static_cast<double>(total);
+        h -= p * std::log(p);
+    }
+    return h;
+}
+
+/** n choose 2 as a double (n can be the pixel count). */
+double
+choose2(std::uint64_t n)
+{
+    return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+/** Extract boundary pixel coordinates (4-neighborhood label change). */
+std::vector<std::pair<int, int>>
+boundaryPixels(const img::LabelMap &m)
+{
+    std::vector<std::pair<int, int>> pts;
+    for (int y = 0; y < m.height(); ++y) {
+        for (int x = 0; x < m.width(); ++x) {
+            int v = m(x, y);
+            bool edge =
+                (x + 1 < m.width() && m(x + 1, y) != v) ||
+                (y + 1 < m.height() && m(x, y + 1) != v);
+            if (edge)
+                pts.emplace_back(x, y);
+        }
+    }
+    return pts;
+}
+
+/** Mean distance from each point of @p from to the nearest of @p to. */
+double
+meanNearestDistance(const std::vector<std::pair<int, int>> &from,
+                    const std::vector<std::pair<int, int>> &to)
+{
+    if (from.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (auto [x0, y0] : from) {
+        double best = std::numeric_limits<double>::max();
+        for (auto [x1, y1] : to) {
+            double dx = x0 - x1;
+            double dy = y0 - y1;
+            best = std::min(best, dx * dx + dy * dy);
+        }
+        acc += std::sqrt(best);
+    }
+    return acc / static_cast<double>(from.size());
+}
+
+} // namespace
+
+ContingencyTable::ContingencyTable(const img::LabelMap &a,
+                                   const img::LabelMap &b)
+{
+    checkSameSize(a, b);
+    auto ia = denseIndex(a);
+    auto ib = denseIndex(b);
+    rowSums_.assign(ia.size(), 0);
+    colSums_.assign(ib.size(), 0);
+    counts_.assign(ia.size() * ib.size(), 0);
+
+    for (int y = 0; y < a.height(); ++y) {
+        for (int x = 0; x < a.width(); ++x) {
+            std::size_t i = ia.at(a(x, y));
+            std::size_t j = ib.at(b(x, y));
+            ++counts_[i * colSums_.size() + j];
+            ++rowSums_[i];
+            ++colSums_[j];
+            ++total_;
+        }
+    }
+}
+
+double
+ContingencyTable::entropyA() const
+{
+    return entropyOf(rowSums_, total_);
+}
+
+double
+ContingencyTable::entropyB() const
+{
+    return entropyOf(colSums_, total_);
+}
+
+double
+ContingencyTable::mutualInformation() const
+{
+    double mi = 0.0;
+    double n = static_cast<double>(total_);
+    for (std::size_t i = 0; i < rowSums_.size(); ++i) {
+        for (std::size_t j = 0; j < colSums_.size(); ++j) {
+            std::uint64_t c = count(i, j);
+            if (c == 0)
+                continue;
+            double pij = static_cast<double>(c) / n;
+            double pi = static_cast<double>(rowSums_[i]) / n;
+            double pj = static_cast<double>(colSums_[j]) / n;
+            mi += pij * std::log(pij / (pi * pj));
+        }
+    }
+    return std::max(mi, 0.0);
+}
+
+double
+variationOfInformation(const img::LabelMap &a, const img::LabelMap &b)
+{
+    ContingencyTable t(a, b);
+    double voi =
+        t.entropyA() + t.entropyB() - 2.0 * t.mutualInformation();
+    return std::max(voi, 0.0);
+}
+
+double
+probabilisticRandIndex(const img::LabelMap &a, const img::LabelMap &b)
+{
+    ContingencyTable t(a, b);
+    double pairs = choose2(t.total());
+    RETSIM_ASSERT(pairs > 0.0, "need at least two pixels");
+
+    double sum_ij = 0.0;
+    for (std::size_t i = 0; i < t.numLabelsA(); ++i)
+        for (std::size_t j = 0; j < t.numLabelsB(); ++j)
+            sum_ij += choose2(t.count(i, j));
+    double sum_a = 0.0;
+    for (std::size_t i = 0; i < t.numLabelsA(); ++i)
+        sum_a += choose2(t.rowSum(i));
+    double sum_b = 0.0;
+    for (std::size_t j = 0; j < t.numLabelsB(); ++j)
+        sum_b += choose2(t.colSum(j));
+
+    return (pairs + 2.0 * sum_ij - sum_a - sum_b) / pairs;
+}
+
+double
+globalConsistencyError(const img::LabelMap &a, const img::LabelMap &b)
+{
+    ContingencyTable t(a, b);
+    double n = static_cast<double>(t.total());
+
+    // Refinement error of A against B, summed over pixels: a pixel in
+    // row-cluster i and column-cluster j contributes (|A_i| - n_ij) /
+    // |A_i|; and symmetrically.
+    double e_ab = 0.0;
+    double e_ba = 0.0;
+    for (std::size_t i = 0; i < t.numLabelsA(); ++i) {
+        for (std::size_t j = 0; j < t.numLabelsB(); ++j) {
+            double nij = static_cast<double>(t.count(i, j));
+            if (nij == 0.0)
+                continue;
+            double ai = static_cast<double>(t.rowSum(i));
+            double bj = static_cast<double>(t.colSum(j));
+            e_ab += nij * (ai - nij) / ai;
+            e_ba += nij * (bj - nij) / bj;
+        }
+    }
+    return std::min(e_ab, e_ba) / n;
+}
+
+double
+boundaryDisplacementError(const img::LabelMap &a, const img::LabelMap &b)
+{
+    checkSameSize(a, b);
+    auto pa = boundaryPixels(a);
+    auto pb = boundaryPixels(b);
+    if (pa.empty() && pb.empty())
+        return 0.0;
+    if (pa.empty() || pb.empty()) {
+        // One partition is trivial: every boundary pixel of the other
+        // is "misplaced" by the image diagonal as a conservative bound.
+        return std::sqrt(static_cast<double>(a.width()) * a.width() +
+                         static_cast<double>(a.height()) * a.height());
+    }
+    return 0.5 * (meanNearestDistance(pa, pb) +
+                  meanNearestDistance(pb, pa));
+}
+
+} // namespace metrics
+} // namespace retsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Segmentation quality metrics.
+ *
+ * Reimplements the four metrics of the BISIP evaluation package used
+ * by the paper (Sec. III-D.3): Variation of Information (VoI, the one
+ * the paper plots), Probabilistic Rand Index (PRI), Global Consistency
+ * Error (GCE) and Boundary Displacement Error (BDE).  All operate on a
+ * pair of label maps; label values need not match between the two maps
+ * (the metrics are permutation-invariant).
+ */
+
+#ifndef RETSIM_METRICS_SEGMENTATION_METRICS_HH
+#define RETSIM_METRICS_SEGMENTATION_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.hh"
+
+namespace retsim {
+namespace metrics {
+
+/**
+ * Co-occurrence counts between two labelings of the same pixels.
+ * Rows index labels of A, columns labels of B.
+ */
+class ContingencyTable
+{
+  public:
+    ContingencyTable(const img::LabelMap &a, const img::LabelMap &b);
+
+    std::size_t numLabelsA() const { return rowSums_.size(); }
+    std::size_t numLabelsB() const { return colSums_.size(); }
+    std::uint64_t total() const { return total_; }
+
+    std::uint64_t
+    count(std::size_t i, std::size_t j) const
+    {
+        return counts_[i * colSums_.size() + j];
+    }
+
+    std::uint64_t rowSum(std::size_t i) const { return rowSums_[i]; }
+    std::uint64_t colSum(std::size_t j) const { return colSums_[j]; }
+
+    /** Entropy (nats) of the A marginal. */
+    double entropyA() const;
+    /** Entropy (nats) of the B marginal. */
+    double entropyB() const;
+    /** Mutual information (nats). */
+    double mutualInformation() const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::vector<std::uint64_t> rowSums_;
+    std::vector<std::uint64_t> colSums_;
+    std::uint64_t total_ = 0;
+};
+
+/** Variation of Information, in nats; 0 = identical partitions. */
+double variationOfInformation(const img::LabelMap &a,
+                              const img::LabelMap &b);
+
+/** Rand index in [0, 1]; 1 = identical partitions. */
+double probabilisticRandIndex(const img::LabelMap &a,
+                              const img::LabelMap &b);
+
+/** Global Consistency Error in [0, 1]; 0 = one refines the other. */
+double globalConsistencyError(const img::LabelMap &a,
+                              const img::LabelMap &b);
+
+/** Mean symmetric boundary displacement, in pixels. */
+double boundaryDisplacementError(const img::LabelMap &a,
+                                 const img::LabelMap &b);
+
+} // namespace metrics
+} // namespace retsim
+
+#endif // RETSIM_METRICS_SEGMENTATION_METRICS_HH

@@ -1,0 +1,56 @@
+#include "metrics/stereo_metrics.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace metrics {
+
+namespace {
+
+void
+checkSameSize(const img::LabelMap &a, const img::LabelMap &b)
+{
+    RETSIM_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                  "disparity/truth size mismatch");
+    RETSIM_ASSERT(!a.empty(), "empty disparity map");
+}
+
+} // namespace
+
+double
+badPixelPercent(const img::LabelMap &disparity,
+                const img::LabelMap &truth, double threshold)
+{
+    checkSameSize(disparity, truth);
+    std::size_t bad = 0;
+    for (int y = 0; y < disparity.height(); ++y) {
+        for (int x = 0; x < disparity.width(); ++x) {
+            double err = std::abs(
+                static_cast<double>(disparity(x, y)) - truth(x, y));
+            if (err > threshold)
+                ++bad;
+        }
+    }
+    return 100.0 * static_cast<double>(bad) /
+           static_cast<double>(disparity.size());
+}
+
+double
+rmsError(const img::LabelMap &disparity, const img::LabelMap &truth)
+{
+    checkSameSize(disparity, truth);
+    double acc = 0.0;
+    for (int y = 0; y < disparity.height(); ++y) {
+        for (int x = 0; x < disparity.width(); ++x) {
+            double err = static_cast<double>(disparity(x, y)) -
+                         truth(x, y);
+            acc += err * err;
+        }
+    }
+    return std::sqrt(acc / static_cast<double>(disparity.size()));
+}
+
+} // namespace metrics
+} // namespace retsim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Stereo disparity quality metrics (Scharstein & Szeliski taxonomy).
+ *
+ * Bad-pixel percentage (BP) with threshold 1 and RMS disparity error,
+ * the two metrics the paper reports for stereo vision (Sec. III-A).
+ */
+
+#ifndef RETSIM_METRICS_STEREO_METRICS_HH
+#define RETSIM_METRICS_STEREO_METRICS_HH
+
+#include "img/image.hh"
+
+namespace retsim {
+namespace metrics {
+
+/**
+ * Percentage (0..100) of pixels whose |disparity - truth| exceeds
+ * @p threshold (the paper uses 1).
+ */
+double badPixelPercent(const img::LabelMap &disparity,
+                       const img::LabelMap &truth,
+                       double threshold = 1.0);
+
+/** Root-mean-squared disparity error. */
+double rmsError(const img::LabelMap &disparity,
+                const img::LabelMap &truth);
+
+} // namespace metrics
+} // namespace retsim
+
+#endif // RETSIM_METRICS_STEREO_METRICS_HH

@@ -1,0 +1,165 @@
+#include "mrf/belief_propagation.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace mrf {
+
+namespace {
+
+/** Direction indices: messages TO a pixel FROM each neighbor. */
+enum Direction { kFromLeft = 0, kFromRight, kFromUp, kFromDown };
+
+} // namespace
+
+img::LabelMap
+BeliefPropagationSolver::run(const MrfProblem &problem,
+                             SolverTrace *trace) const
+{
+    RETSIM_ASSERT(config_.iterations >= 1, "need >= 1 iteration");
+    RETSIM_ASSERT(config_.damping > 0.0 && config_.damping <= 1.0,
+                  "damping must lie in (0, 1]");
+    RETSIM_ASSERT(problem.neighborhood() == Neighborhood::Four,
+                  "message passing is implemented on the "
+                  "4-neighborhood only");
+    const int w = problem.width();
+    const int h = problem.height();
+    const int m = problem.numLabels();
+    const PairwiseTable &pw = problem.pairwise();
+
+    // messages[dir][(y*w + x)*m + l]: message into (x, y) from the
+    // neighbor in direction dir, for label l.  Initialized to zero
+    // (uniform in min-sum).
+    const std::size_t plane = static_cast<std::size_t>(w) * h * m;
+    std::vector<std::vector<float>> messages(
+        4, std::vector<float>(plane, 0.0f));
+    std::vector<std::vector<float>> next(
+        4, std::vector<float>(plane, 0.0f));
+
+    auto at = [&](int x, int y, int l) {
+        return (static_cast<std::size_t>(y) * w + x) * m + l;
+    };
+
+    // Pre-fetch singleton rows for speed.
+    std::vector<float> accum(m);
+    std::vector<float> outgoing(m);
+
+    for (int iter = 0; iter < config_.iterations; ++iter) {
+        // Compute the message each pixel SENDS to each neighbor:
+        // send_{p->q}(l_q) = min_{l_p} [ D_p(l_p) + V(l_p, l_q) +
+        //                     sum_{n != q} msg_{n->p}(l_p) ].
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                auto row = problem.singletonRow(x, y);
+                // Total incoming + data term.
+                for (int l = 0; l < m; ++l) {
+                    accum[l] = row[l];
+                    for (int d = 0; d < 4; ++d)
+                        accum[l] += messages[d][at(x, y, l)];
+                }
+
+                // One outgoing message per existing neighbor; the
+                // excluded direction is the reverse of the send.
+                struct Edge
+                {
+                    int dx, dy;
+                    Direction exclude; ///< message from the target
+                    Direction store;   ///< slot at the target
+                };
+                static constexpr Edge kEdges[] = {
+                    {-1, 0, kFromLeft, kFromRight}, // send left
+                    {+1, 0, kFromRight, kFromLeft}, // send right
+                    {0, -1, kFromUp, kFromDown},    // send up
+                    {0, +1, kFromDown, kFromUp},    // send down
+                };
+                for (const Edge &e : kEdges) {
+                    int nx = x + e.dx;
+                    int ny = y + e.dy;
+                    if (nx < 0 || nx >= w || ny < 0 || ny >= h)
+                        continue;
+                    // min-sum over the sender's labels.
+                    for (int lq = 0; lq < m; ++lq) {
+                        float best =
+                            std::numeric_limits<float>::max();
+                        for (int lp = 0; lp < m; ++lp) {
+                            float v = accum[lp] -
+                                      messages[e.exclude]
+                                              [at(x, y, lp)] +
+                                      pw(lp, lq);
+                            best = std::min(best, v);
+                        }
+                        outgoing[lq] = best;
+                    }
+                    // Normalize (min-sum messages are shift
+                    // invariant) and damp.
+                    float lo = *std::min_element(outgoing.begin(),
+                                                 outgoing.end());
+                    float d = static_cast<float>(config_.damping);
+                    for (int lq = 0; lq < m; ++lq) {
+                        float fresh = outgoing[lq] - lo;
+                        float old =
+                            messages[e.store][at(nx, ny, lq)];
+                        next[e.store][at(nx, ny, lq)] =
+                            d * fresh + (1.0f - d) * old;
+                    }
+                }
+            }
+        }
+        for (int d = 0; d < 4; ++d)
+            std::swap(messages[d], next[d]);
+
+        if (trace) {
+            // Decode and record the energy trajectory.
+            img::LabelMap decoded(w, h);
+            for (int y = 0; y < h; ++y) {
+                for (int x = 0; x < w; ++x) {
+                    auto row = problem.singletonRow(x, y);
+                    int best = 0;
+                    float best_v =
+                        std::numeric_limits<float>::max();
+                    for (int l = 0; l < m; ++l) {
+                        float v = row[l];
+                        for (int d = 0; d < 4; ++d)
+                            v += messages[d][at(x, y, l)];
+                        if (v < best_v) {
+                            best_v = v;
+                            best = l;
+                        }
+                    }
+                    decoded(x, y) = best;
+                }
+            }
+            trace->energyPerSweep.push_back(
+                problem.totalEnergy(decoded));
+            trace->temperaturePerSweep.push_back(0.0);
+        }
+    }
+
+    // Final decode: argmin of the beliefs.
+    img::LabelMap labels(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            auto row = problem.singletonRow(x, y);
+            int best = 0;
+            float best_v = std::numeric_limits<float>::max();
+            for (int l = 0; l < m; ++l) {
+                float v = row[l];
+                for (int d = 0; d < 4; ++d)
+                    v += messages[d][at(x, y, l)];
+                if (v < best_v) {
+                    best_v = v;
+                    best = l;
+                }
+            }
+            labels(x, y) = best;
+        }
+    }
+    return labels;
+}
+
+} // namespace mrf
+} // namespace retsim

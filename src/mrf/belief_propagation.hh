@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Loopy min-sum belief propagation on the 4-connected grid.
+ *
+ * The paper positions its MCMC quality against energy-minimization
+ * methods (Graph Cuts reach BP 25% on teddy where annealed MCMC
+ * reaches 27%, Sec. III-B).  Min-sum BP is the message-passing member
+ * of that family and serves as the repository's deterministic
+ * high-quality baseline: synchronous damped message updates over the
+ * shared PairwiseTable, beliefs decoded by per-pixel minimization.
+ *
+ * Message updates are the generic O(M^2) form so every distance kind
+ * works; for truncated-linear distances an O(M) distance-transform
+ * specialization exists in the literature but is not needed at the
+ * label counts the RSU-G supports.
+ */
+
+#ifndef RETSIM_MRF_BELIEF_PROPAGATION_HH
+#define RETSIM_MRF_BELIEF_PROPAGATION_HH
+
+#include "mrf/gibbs.hh"
+#include "mrf/problem.hh"
+
+namespace retsim {
+namespace mrf {
+
+struct BpConfig
+{
+    int iterations = 30;
+    double damping = 0.5; ///< new = damping*new + (1-damping)*old
+};
+
+class BeliefPropagationSolver
+{
+  public:
+    explicit BeliefPropagationSolver(BpConfig config = {})
+        : config_(config)
+    {
+    }
+
+    /**
+     * Run synchronous min-sum BP and decode the per-pixel MAP
+     * labels; @p trace records the total energy after each
+     * iteration.
+     */
+    img::LabelMap run(const MrfProblem &problem,
+                      SolverTrace *trace = nullptr) const;
+
+    const BpConfig &config() const { return config_; }
+
+  private:
+    BpConfig config_;
+};
+
+} // namespace mrf
+} // namespace retsim
+
+#endif // RETSIM_MRF_BELIEF_PROPAGATION_HH

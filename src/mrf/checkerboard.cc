@@ -1,0 +1,70 @@
+#include "mrf/checkerboard.hh"
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace mrf {
+
+img::LabelMap
+CheckerboardGibbsSolver::run(const MrfProblem &problem,
+                             LabelSampler &sampler,
+                             img::LabelMap &labels,
+                             SolverTrace *trace) const
+{
+    RETSIM_ASSERT(labels.width() == problem.width() &&
+                      labels.height() == problem.height(),
+                  "label map size mismatch");
+    RETSIM_ASSERT(problem.neighborhood() == Neighborhood::Four,
+                  "the two-color chromatic schedule is only valid on "
+                  "the 4-neighborhood (8-connectivity needs 4 colors)");
+    const int m = problem.numLabels();
+    rng::Xoshiro256 gen(config_.seed);
+
+    if (config_.randomInit) {
+        for (int &l : labels.data())
+            l = static_cast<int>(gen.nextBounded(m));
+    }
+
+    std::vector<float> energies(m);
+    for (int s = 0; s < config_.annealing.sweeps; ++s) {
+        double temperature = config_.annealing.temperature(s);
+        for (int color = 0; color < 2; ++color) {
+            // All same-color pixels depend only on the other color:
+            // this loop is what the accelerator executes in parallel.
+            for (int y = 0; y < problem.height(); ++y) {
+                for (int x = (y + color) % 2; x < problem.width();
+                     x += 2) {
+                    problem.conditionalEnergies(labels, x, y,
+                                                energies);
+                    int current = labels(x, y);
+                    int chosen = sampler.sample(energies, temperature,
+                                                current, gen);
+                    labels(x, y) = chosen;
+                    if (trace) {
+                        ++trace->pixelUpdates;
+                        if (chosen != current)
+                            ++trace->labelChanges;
+                    }
+                }
+            }
+        }
+        if (trace) {
+            trace->energyPerSweep.push_back(
+                problem.totalEnergy(labels));
+            trace->temperaturePerSweep.push_back(temperature);
+        }
+    }
+    return labels;
+}
+
+img::LabelMap
+CheckerboardGibbsSolver::run(const MrfProblem &problem,
+                             LabelSampler &sampler,
+                             SolverTrace *trace) const
+{
+    img::LabelMap labels(problem.width(), problem.height(), 0);
+    return run(problem, sampler, labels, trace);
+}
+
+} // namespace mrf
+} // namespace retsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Checkerboard (red-black) Gibbs solver.
+ *
+ * The paper's discrete accelerator runs 336 RSU-Gs concurrently
+ * (Sec. II-C); on a 4-connected grid, pixels of the same parity have
+ * no shared edges, so all "red" pixels can be updated in parallel
+ * from a consistent snapshot, then all "black" pixels — the standard
+ * chromatic Gibbs schedule.  This solver executes that schedule
+ * (sequentially, but with the exact parallel data dependences:
+ * within a half-sweep every conditional is computed against the
+ * *other* color only), so its output is what the real accelerator
+ * would produce.  An accelerator with U units finishes a half-sweep
+ * in ceil(pixels/2/U) * M cycles — the number hw::PerfModel uses.
+ */
+
+#ifndef RETSIM_MRF_CHECKERBOARD_HH
+#define RETSIM_MRF_CHECKERBOARD_HH
+
+#include "mrf/gibbs.hh"
+#include "mrf/problem.hh"
+#include "mrf/sampler.hh"
+
+namespace retsim {
+namespace mrf {
+
+class CheckerboardGibbsSolver
+{
+  public:
+    explicit CheckerboardGibbsSolver(SolverConfig config)
+        : config_(config)
+    {
+    }
+
+    img::LabelMap run(const MrfProblem &problem, LabelSampler &sampler,
+                      img::LabelMap &labels,
+                      SolverTrace *trace = nullptr) const;
+
+    img::LabelMap run(const MrfProblem &problem, LabelSampler &sampler,
+                      SolverTrace *trace = nullptr) const;
+
+    const SolverConfig &config() const { return config_; }
+
+  private:
+    SolverConfig config_;
+};
+
+} // namespace mrf
+} // namespace retsim
+
+#endif // RETSIM_MRF_CHECKERBOARD_HH

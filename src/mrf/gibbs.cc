@@ -1,0 +1,105 @@
+#include "mrf/gibbs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace mrf {
+
+double
+AnnealingSchedule::temperature(int s) const
+{
+    RETSIM_ASSERT(t0 > 0.0 && tEnd > 0.0 && tEnd <= t0,
+                  "invalid annealing endpoints");
+    RETSIM_ASSERT(sweeps >= 1, "need at least one sweep");
+    if (sweeps == 1)
+        return t0;
+    double ratio = std::pow(tEnd / t0,
+                            1.0 / static_cast<double>(sweeps - 1));
+    return std::max(t0 * std::pow(ratio, static_cast<double>(s)), tEnd);
+}
+
+img::LabelMap
+GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
+                 img::LabelMap &labels, SolverTrace *trace) const
+{
+    RETSIM_ASSERT(labels.width() == problem.width() &&
+                      labels.height() == problem.height(),
+                  "label map size mismatch");
+    const int m = problem.numLabels();
+    rng::Xoshiro256 gen(config_.seed);
+
+    if (config_.randomInit) {
+        for (int &l : labels.data())
+            l = static_cast<int>(gen.nextBounded(m));
+    } else {
+        for (int l : labels.data()) {
+            RETSIM_ASSERT(l >= 0 && l < m,
+                          "initial label ", l, " out of range");
+        }
+    }
+
+    std::vector<float> energies(m);
+    const std::size_t pixels =
+        static_cast<std::size_t>(problem.width()) * problem.height();
+    std::vector<std::uint32_t> order;
+    if (config_.randomScan) {
+        order.resize(pixels);
+        for (std::size_t i = 0; i < pixels; ++i)
+            order[i] = static_cast<std::uint32_t>(i);
+    }
+
+    auto update_pixel = [&](int x, int y, double temperature) {
+        problem.conditionalEnergies(labels, x, y, energies);
+        int current = labels(x, y);
+        int chosen =
+            sampler.sample(energies, temperature, current, gen);
+        RETSIM_ASSERT(chosen >= 0 && chosen < m,
+                      "sampler returned invalid label ", chosen);
+        labels(x, y) = chosen;
+        if (trace) {
+            ++trace->pixelUpdates;
+            if (chosen != current)
+                ++trace->labelChanges;
+        }
+    };
+
+    for (int s = 0; s < config_.annealing.sweeps; ++s) {
+        double temperature = config_.annealing.temperature(s);
+        if (config_.randomScan) {
+            // Fisher-Yates with the solver's own generator keeps the
+            // whole run deterministic per seed.
+            for (std::size_t i = pixels; i > 1; --i) {
+                std::size_t j = gen.nextBounded(i);
+                std::swap(order[i - 1], order[j]);
+            }
+            for (std::uint32_t p : order)
+                update_pixel(static_cast<int>(p % problem.width()),
+                             static_cast<int>(p / problem.width()),
+                             temperature);
+        } else {
+            for (int y = 0; y < problem.height(); ++y)
+                for (int x = 0; x < problem.width(); ++x)
+                    update_pixel(x, y, temperature);
+        }
+        if (trace) {
+            trace->energyPerSweep.push_back(
+                problem.totalEnergy(labels));
+            trace->temperaturePerSweep.push_back(temperature);
+        }
+    }
+    return labels;
+}
+
+img::LabelMap
+GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
+                 SolverTrace *trace) const
+{
+    img::LabelMap labels(problem.width(), problem.height(), 0);
+    return run(problem, sampler, labels, trace);
+}
+
+} // namespace mrf
+} // namespace retsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Gibbs-sampling MCMC solver with simulated annealing.
+ *
+ * Implements the outer loops of Fig. 1: sweep the grid pixel by pixel,
+ * compute the conditional energies of every label, and sample a new
+ * label from exp(-E/T).  Temperature follows a geometric annealing
+ * schedule (Sec. III-A, Barnard-style SA for stereo).  The solver is
+ * deterministic given (problem, sampler, seed).
+ */
+
+#ifndef RETSIM_MRF_GIBBS_HH
+#define RETSIM_MRF_GIBBS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "img/image.hh"
+#include "mrf/problem.hh"
+#include "mrf/sampler.hh"
+
+namespace retsim {
+namespace mrf {
+
+/** Geometric annealing: T(s) = t0 * ratio^s, floored at tEnd. */
+struct AnnealingSchedule
+{
+    double t0 = 48.0;
+    double tEnd = 0.6;
+    int sweeps = 300;
+
+    /** Temperature used during 0-based sweep @p s. */
+    double temperature(int s) const;
+};
+
+struct SolverConfig
+{
+    AnnealingSchedule annealing{};
+    std::uint64_t seed = 1;
+    /** Initialize labels uniformly at random; else keep as passed. */
+    bool randomInit = true;
+    /**
+     * Visit pixels in a fresh random permutation each sweep instead
+     * of raster order.  Random-scan Gibbs mixes slightly better on
+     * strongly coupled fields and removes the raster direction bias;
+     * the hardware pipeline streams raster order, so this is a
+     * software-side option.
+     */
+    bool randomScan = false;
+};
+
+struct SolverTrace
+{
+    std::vector<double> energyPerSweep;   ///< total energy after sweep
+    std::vector<double> temperaturePerSweep;
+    std::uint64_t labelChanges = 0;       ///< accepted label flips
+    std::uint64_t pixelUpdates = 0;       ///< total sample() calls
+};
+
+class GibbsSolver
+{
+  public:
+    explicit GibbsSolver(SolverConfig config) : config_(config) {}
+
+    /**
+     * Anneal @p labels toward a low-energy labeling of @p problem
+     * using @p sampler for every probabilistic choice.
+     *
+     * @param trace Optional per-sweep statistics sink.
+     * @return The final labeling (also left in @p labels).
+     */
+    img::LabelMap run(const MrfProblem &problem, LabelSampler &sampler,
+                      img::LabelMap &labels,
+                      SolverTrace *trace = nullptr) const;
+
+    /** Convenience: allocate and initialize the label map internally. */
+    img::LabelMap run(const MrfProblem &problem, LabelSampler &sampler,
+                      SolverTrace *trace = nullptr) const;
+
+    const SolverConfig &config() const { return config_; }
+
+  private:
+    SolverConfig config_;
+};
+
+} // namespace mrf
+} // namespace retsim
+
+#endif // RETSIM_MRF_GIBBS_HH

@@ -1,0 +1,60 @@
+#include "mrf/icm.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace mrf {
+
+img::LabelMap
+IcmSolver::run(const MrfProblem &problem, img::LabelMap &labels,
+               SolverTrace *trace) const
+{
+    RETSIM_ASSERT(labels.width() == problem.width() &&
+                      labels.height() == problem.height(),
+                  "label map size mismatch");
+    const int m = problem.numLabels();
+    std::vector<float> energies(m);
+
+    for (int sweep = 0; sweep < maxSweeps_; ++sweep) {
+        std::uint64_t changes = 0;
+        for (int y = 0; y < problem.height(); ++y) {
+            for (int x = 0; x < problem.width(); ++x) {
+                problem.conditionalEnergies(labels, x, y, energies);
+                int best = 0;
+                for (int l = 1; l < m; ++l)
+                    if (energies[l] < energies[best])
+                        best = l;
+                if (best != labels(x, y)) {
+                    labels(x, y) = best;
+                    ++changes;
+                }
+                if (trace)
+                    ++trace->pixelUpdates;
+            }
+        }
+        if (trace) {
+            trace->energyPerSweep.push_back(
+                problem.totalEnergy(labels));
+            trace->temperaturePerSweep.push_back(0.0);
+            trace->labelChanges += changes;
+        }
+        if (changes == 0)
+            break; // converged to a local minimum
+    }
+    return labels;
+}
+
+img::LabelMap
+IcmSolver::run(const MrfProblem &problem, SolverTrace *trace) const
+{
+    img::LabelMap labels(problem.width(), problem.height(), 0);
+    rng::Xoshiro256 gen(seed_);
+    for (int &l : labels.data())
+        l = static_cast<int>(gen.nextBounded(problem.numLabels()));
+    return run(problem, labels, trace);
+}
+
+} // namespace mrf
+} // namespace retsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Iterated Conditional Modes — the simplest deterministic MRF
+ * baseline (Besag'86).
+ *
+ * Greedily assigns each pixel the label minimizing its conditional
+ * energy until a sweep changes nothing.  ICM converges fast but gets
+ * stuck in local minima, which is precisely the paper's motivation
+ * for annealed MCMC (and hence the RSU-G): comparing ICM's final
+ * energy/quality against the Gibbs solvers quantifies what the
+ * sampler buys.
+ */
+
+#ifndef RETSIM_MRF_ICM_HH
+#define RETSIM_MRF_ICM_HH
+
+#include "mrf/gibbs.hh"
+#include "mrf/problem.hh"
+
+namespace retsim {
+namespace mrf {
+
+class IcmSolver
+{
+  public:
+    /**
+     * @param max_sweeps Upper bound on sweeps (convergence usually
+     *        takes far fewer).
+     * @param seed Seed for the random initialization.
+     */
+    explicit IcmSolver(int max_sweeps = 50, std::uint64_t seed = 1)
+        : maxSweeps_(max_sweeps), seed_(seed)
+    {
+    }
+
+    img::LabelMap run(const MrfProblem &problem,
+                      img::LabelMap &labels,
+                      SolverTrace *trace = nullptr) const;
+
+    /** Random-initialize internally. */
+    img::LabelMap run(const MrfProblem &problem,
+                      SolverTrace *trace = nullptr) const;
+
+  private:
+    int maxSweeps_;
+    std::uint64_t seed_;
+};
+
+} // namespace mrf
+} // namespace retsim
+
+#endif // RETSIM_MRF_ICM_HH

@@ -1,0 +1,74 @@
+#include "mrf/metropolis.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace mrf {
+
+img::LabelMap
+MetropolisSolver::run(const MrfProblem &problem, LabelSampler &sampler,
+                      img::LabelMap &labels, SolverTrace *trace) const
+{
+    RETSIM_ASSERT(labels.width() == problem.width() &&
+                      labels.height() == problem.height(),
+                  "label map size mismatch");
+    const int m = problem.numLabels();
+    rng::Xoshiro256 gen(config_.seed);
+
+    if (config_.randomInit) {
+        for (int &l : labels.data())
+            l = static_cast<int>(gen.nextBounded(m));
+    }
+
+    std::vector<float> energies(m);
+    std::array<float, 2> pair;
+    for (int s = 0; s < config_.annealing.sweeps; ++s) {
+        double temperature = config_.annealing.temperature(s);
+        for (int y = 0; y < problem.height(); ++y) {
+            for (int x = 0; x < problem.width(); ++x) {
+                int current = labels(x, y);
+                int proposed =
+                    static_cast<int>(gen.nextBounded(m));
+                if (proposed == current)
+                    continue; // self-proposal: nothing to decide
+
+                // Only two conditional energies matter; computing the
+                // full row keeps the MrfProblem interface uniform and
+                // models the RSU front-end exactly.
+                problem.conditionalEnergies(labels, x, y, energies);
+                pair[0] = energies[current];
+                pair[1] = energies[proposed];
+
+                // Barker acceptance == two-label first-to-fire race.
+                int winner =
+                    sampler.sample(pair, temperature, 0, gen);
+                if (winner == 1)
+                    labels(x, y) = proposed;
+                if (trace) {
+                    ++trace->pixelUpdates;
+                    if (winner == 1)
+                        ++trace->labelChanges;
+                }
+            }
+        }
+        if (trace) {
+            trace->energyPerSweep.push_back(
+                problem.totalEnergy(labels));
+            trace->temperaturePerSweep.push_back(temperature);
+        }
+    }
+    return labels;
+}
+
+img::LabelMap
+MetropolisSolver::run(const MrfProblem &problem, LabelSampler &sampler,
+                      SolverTrace *trace) const
+{
+    img::LabelMap labels(problem.width(), problem.height(), 0);
+    return run(problem, sampler, labels, trace);
+}
+
+} // namespace mrf
+} // namespace retsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Metropolis-style MCMC solver with Barker acceptance — the paper's
+ * "extending the samplers to support more than Gibbs sampling"
+ * future-work direction (Sec. IV-D).
+ *
+ * Instead of evaluating all M labels per pixel (Gibbs), each update
+ * proposes one uniformly random label and accepts it with the Barker
+ * probability
+ *
+ *     a = p' / (p + p') = exp(-E'/T) / (exp(-E/T) + exp(-E'/T)),
+ *
+ * which satisfies detailed balance, so the chain has the same
+ * stationary distribution as Gibbs.  Crucially, Barker acceptance *is*
+ * a two-label first-to-fire race between the current and the proposed
+ * label — exactly the primitive an RSU-G evaluates in hardware — so
+ * the same LabelSampler implementations plug in unchanged, with M = 2
+ * per update instead of M per pixel.  This trades fewer RET
+ * evaluations per update against more sweeps to converge.
+ */
+
+#ifndef RETSIM_MRF_METROPOLIS_HH
+#define RETSIM_MRF_METROPOLIS_HH
+
+#include "mrf/gibbs.hh"
+#include "mrf/problem.hh"
+#include "mrf/sampler.hh"
+
+namespace retsim {
+namespace mrf {
+
+class MetropolisSolver
+{
+  public:
+    explicit MetropolisSolver(SolverConfig config) : config_(config) {}
+
+    /**
+     * Anneal @p labels with one proposal per pixel per sweep; every
+     * accept/reject decision is delegated to @p sampler as a
+     * two-label race (index 0 = current, 1 = proposed).
+     */
+    img::LabelMap run(const MrfProblem &problem, LabelSampler &sampler,
+                      img::LabelMap &labels,
+                      SolverTrace *trace = nullptr) const;
+
+    /** Convenience: allocate and random-initialize the label map. */
+    img::LabelMap run(const MrfProblem &problem, LabelSampler &sampler,
+                      SolverTrace *trace = nullptr) const;
+
+    const SolverConfig &config() const { return config_; }
+
+  private:
+    SolverConfig config_;
+};
+
+} // namespace mrf
+} // namespace retsim
+
+#endif // RETSIM_MRF_METROPOLIS_HH

@@ -1,0 +1,107 @@
+#include "mrf/problem.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace mrf {
+
+namespace {
+
+/** Diagonal doubleton weighting for 8-connectivity (1/distance). */
+constexpr float kDiagonalWeight = 0.70710678f;
+
+} // namespace
+
+MrfProblem::MrfProblem(int width, int height, PairwiseTable pairwise,
+                       std::string name, Neighborhood neighborhood)
+    : width_(width), height_(height), pairwise_(std::move(pairwise)),
+      name_(std::move(name)), neighborhood_(neighborhood)
+{
+    RETSIM_ASSERT(width >= 1 && height >= 1,
+                  "grid dimensions must be positive");
+    singleton_.assign(static_cast<std::size_t>(width) * height *
+                          numLabels(),
+                      0.0f);
+}
+
+void
+MrfProblem::conditionalEnergies(const img::LabelMap &labels, int x,
+                                int y, std::span<float> out) const
+{
+    const int m = numLabels();
+    RETSIM_ASSERT(static_cast<int>(out.size()) == m,
+                  "output span has wrong label count");
+
+    const float *s = singleton_.data() + index(x, y, 0);
+    for (int i = 0; i < m; ++i)
+        out[i] = s[i];
+
+    // Doubleton: add one (weighted) pairwise-table row per in-bounds
+    // neighbor.
+    auto add_neighbor = [&](int nx, int ny, float weight) {
+        if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_)
+            return;
+        int q = labels(nx, ny);
+        for (int i = 0; i < m; ++i)
+            out[i] += weight * pairwise_(i, q);
+    };
+    add_neighbor(x - 1, y, 1.0f);
+    add_neighbor(x + 1, y, 1.0f);
+    add_neighbor(x, y - 1, 1.0f);
+    add_neighbor(x, y + 1, 1.0f);
+    if (neighborhood_ == Neighborhood::Eight) {
+        add_neighbor(x - 1, y - 1, kDiagonalWeight);
+        add_neighbor(x + 1, y - 1, kDiagonalWeight);
+        add_neighbor(x - 1, y + 1, kDiagonalWeight);
+        add_neighbor(x + 1, y + 1, kDiagonalWeight);
+    }
+}
+
+double
+MrfProblem::totalEnergy(const img::LabelMap &labels) const
+{
+    RETSIM_ASSERT(labels.width() == width_ &&
+                      labels.height() == height_,
+                  "labeling size mismatch");
+    double e = 0.0;
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            int l = labels(x, y);
+            e += singleton(x, y, l);
+            // Count each edge once (right/down, plus the two forward
+            // diagonals under 8-connectivity).
+            if (x + 1 < width_)
+                e += pairwise_(l, labels(x + 1, y));
+            if (y + 1 < height_)
+                e += pairwise_(l, labels(x, y + 1));
+            if (neighborhood_ == Neighborhood::Eight &&
+                y + 1 < height_) {
+                if (x + 1 < width_)
+                    e += kDiagonalWeight *
+                         pairwise_(l, labels(x + 1, y + 1));
+                if (x > 0)
+                    e += kDiagonalWeight *
+                         pairwise_(l, labels(x - 1, y + 1));
+            }
+        }
+    }
+    return e;
+}
+
+double
+MrfProblem::maxConditionalEnergy() const
+{
+    float max_singleton = 0.0f;
+    for (float v : singleton_)
+        max_singleton = std::max(max_singleton, v);
+    double degree = neighborhood_ == Neighborhood::Eight
+                        ? 4.0 + 4.0 * kDiagonalWeight
+                        : 4.0;
+    return static_cast<double>(max_singleton) +
+           degree * pairwise_.maxEntry();
+}
+
+} // namespace mrf
+} // namespace retsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The label-sampler interface the Gibbs solver is generic over.
+ *
+ * The solver computes the conditional energies of every label at a
+ * pixel and delegates the probabilistic choice to a LabelSampler.
+ * Implementations include the double-precision software baseline, the
+ * previous and new RSU-G functional models and the pseudo-RNG CDF
+ * baselines — swapping the sampler is exactly how the paper compares
+ * designs while keeping the application fixed (Sec. III-A).
+ */
+
+#ifndef RETSIM_MRF_SAMPLER_HH
+#define RETSIM_MRF_SAMPLER_HH
+
+#include <span>
+#include <string>
+
+#include "rng/rng.hh"
+
+namespace retsim {
+namespace mrf {
+
+class LabelSampler
+{
+  public:
+    virtual ~LabelSampler() = default;
+
+    /**
+     * Choose a label given the conditional energies of all labels at
+     * the current temperature.
+     *
+     * @param energies Conditional energy of each label (Eq. 1).
+     * @param temperature Simulated-annealing temperature T (Eq. 2).
+     * @param current Current label; returned if the hardware produces
+     *        no sample (all distributions truncated/cut off).
+     * @param gen Entropy source.
+     * @return The sampled label in [0, energies.size()).
+     */
+    virtual int sample(std::span<const float> energies,
+                       double temperature, int current,
+                       rng::Rng &gen) = 0;
+
+    /** Human-readable implementation name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace mrf
+} // namespace retsim
+
+#endif // RETSIM_MRF_SAMPLER_HH

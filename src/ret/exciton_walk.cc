@@ -1,0 +1,130 @@
+#include "ret/exciton_walk.hh"
+
+#include <cmath>
+
+#include "rng/distributions.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace ret {
+
+double
+ChromophoreSite::totalRate() const
+{
+    return transferRate + fluorescenceRate + nonRadiativeRate;
+}
+
+double
+ChromophoreSite::transferProbability() const
+{
+    double total = totalRate();
+    return total > 0.0 ? transferRate / total : 0.0;
+}
+
+ExcitonChain::ExcitonChain(std::vector<ChromophoreSite> sites)
+    : sites_(std::move(sites))
+{
+    RETSIM_ASSERT(!sites_.empty(), "chain needs at least one site");
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        RETSIM_ASSERT(sites_[i].totalRate() > 0.0,
+                      "site ", i, " has no depopulation channel");
+        RETSIM_ASSERT(sites_[i].fluorescenceRate >= 0.0 &&
+                          sites_[i].nonRadiativeRate >= 0.0 &&
+                          sites_[i].transferRate >= 0.0,
+                      "site ", i, " has a negative rate");
+    }
+    RETSIM_ASSERT(sites_.back().transferRate == 0.0,
+                  "terminal site cannot transfer onward");
+}
+
+ExcitonOutcome
+ExcitonChain::propagate(rng::Rng &gen) const
+{
+    ExcitonOutcome out;
+    double now = 0.0;
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        const ChromophoreSite &s = sites_[i];
+        // Residence time is exponential in the total rate; the exit
+        // channel is chosen proportionally to the channel rates
+        // (competing exponentials, the same physics the sampler
+        // exploits one level up).
+        now += rng::sampleExponential(gen, s.totalRate());
+        double u = gen.nextDouble() * s.totalRate();
+        if (u < s.transferRate)
+            continue; // FRET to site i+1
+        out.time = now;
+        out.site = static_cast<unsigned>(i);
+        if (u < s.transferRate + s.fluorescenceRate) {
+            out.fate = i + 1 == sites_.size()
+                           ? ExcitonOutcome::Fate::TerminalFluorescence
+                           : ExcitonOutcome::Fate::EarlyFluorescence;
+        } else {
+            out.fate = ExcitonOutcome::Fate::NonRadiative;
+        }
+        return out;
+    }
+    RETSIM_PANIC("terminal site transferred onward");
+}
+
+double
+ExcitonChain::quantumYield() const
+{
+    // Reach the terminal site through every transfer, then fluoresce
+    // there.
+    double yield = 1.0;
+    for (std::size_t i = 0; i + 1 < sites_.size(); ++i)
+        yield *= sites_[i].transferProbability();
+    const ChromophoreSite &last = sites_.back();
+    yield *= last.fluorescenceRate / last.totalRate();
+    return yield;
+}
+
+double
+ExcitonChain::conditionalMeanTtf() const
+{
+    double mean = 0.0;
+    for (const ChromophoreSite &s : sites_)
+        mean += 1.0 / s.totalRate();
+    return mean;
+}
+
+double
+ExcitonChain::effectiveRate() const
+{
+    RETSIM_ASSERT(sites_.size() == 1,
+                  "effectiveRate defined for single-site chains");
+    return sites_.front().totalRate();
+}
+
+ExcitonChain
+ExcitonChain::singleSite(double concentration,
+                         double base_fluorescence,
+                         double base_non_radiative)
+{
+    RETSIM_ASSERT(concentration > 0.0,
+                  "concentration must be positive");
+    ChromophoreSite s;
+    s.transferRate = 0.0;
+    s.fluorescenceRate = base_fluorescence * concentration;
+    s.nonRadiativeRate = base_non_radiative * concentration;
+    return ExcitonChain({s});
+}
+
+ExcitonChain
+ExcitonChain::uniformChain(unsigned n, double transfer_rate,
+                           double terminal_fluorescence)
+{
+    RETSIM_ASSERT(n >= 1, "chain needs at least one site");
+    std::vector<ChromophoreSite> sites(n);
+    for (unsigned i = 0; i + 1 < n; ++i) {
+        sites[i].transferRate = transfer_rate;
+        sites[i].fluorescenceRate = 0.0;
+        sites[i].nonRadiativeRate = 0.0;
+    }
+    sites[n - 1].transferRate = 0.0;
+    sites[n - 1].fluorescenceRate = terminal_fluorescence;
+    return ExcitonChain(std::move(sites));
+}
+
+} // namespace ret
+} // namespace retsim

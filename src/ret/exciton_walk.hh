@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Exciton-level model of a RET transfer chain.
+ *
+ * The behavioral RetNetwork assumes an exponential time to
+ * fluorescence.  This module derives that behavior from one level
+ * further down (the physics of Wang et al., IEEE Micro'15 [6]): an
+ * absorbed photon creates an exciton on the input chromophore, which
+ * then performs a continuous-time random walk along the chromophore
+ * chain — at each site it either transfers to the next chromophore
+ * (FRET, rate k_t), fluoresces (rate k_f), or decays non-radiatively
+ * (rate k_nr).  Detection happens when the *terminal* chromophore
+ * fluoresces; any non-radiative decay or fluorescence from an
+ * intermediate site off the detector's spectral band loses the
+ * exciton.
+ *
+ * For a single chromophore this yields TTF ~ Exp(k_f + k_nr)
+ * conditioned on fluorescence winning — the exponential the RSU-G
+ * exploits, with the emission quantum yield k_f / (k_f + k_nr).  For
+ * an n-site chain the conditional TTF is hypoexponential (the
+ * phase-type family of core/phase_type.hh), which is how chained RET
+ * stages realize sharper-than-exponential timing references.
+ *
+ * Concentration tuning enters as the transfer rate scaling: packing
+ * more acceptor molecules around a donor multiplies the effective
+ * k_t (and for the single-site sampler, the effective decay rate) —
+ * the knob the new RSU-G uses in place of intensity (Sec. IV-B.4).
+ */
+
+#ifndef RETSIM_RET_EXCITON_WALK_HH
+#define RETSIM_RET_EXCITON_WALK_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rng/rng.hh"
+
+namespace retsim {
+namespace ret {
+
+/** Photophysical rates of one chromophore site (per time bin). */
+struct ChromophoreSite
+{
+    double transferRate = 0.0;     ///< FRET to the next site (k_t)
+    double fluorescenceRate = 0.1; ///< radiative decay (k_f)
+    double nonRadiativeRate = 0.0; ///< quenching losses (k_nr)
+
+    /** Total depopulation rate of the excited state. */
+    double totalRate() const;
+
+    /** Probability the exciton leaves by FRET. */
+    double transferProbability() const;
+};
+
+/** Outcome of propagating one exciton through a chain. */
+struct ExcitonOutcome
+{
+    enum class Fate
+    {
+        TerminalFluorescence, ///< detected photon
+        EarlyFluorescence,    ///< photon from a non-terminal site
+        NonRadiative,         ///< exciton lost silently
+    };
+
+    Fate fate = Fate::NonRadiative;
+    double time = 0.0;   ///< absolute time of the terminal event
+    unsigned site = 0;   ///< site where the exciton ended
+};
+
+class ExcitonChain
+{
+  public:
+    /** @param sites Chromophores in transfer order; the last site's
+     *  fluorescence is the detected output. */
+    explicit ExcitonChain(std::vector<ChromophoreSite> sites);
+
+    std::size_t length() const { return sites_.size(); }
+    const ChromophoreSite &site(std::size_t i) const
+    {
+        return sites_.at(i);
+    }
+
+    /** Propagate one exciton injected at site 0 at time zero. */
+    ExcitonOutcome propagate(rng::Rng &gen) const;
+
+    /**
+     * Probability that an injected exciton produces a detected
+     * (terminal-fluorescence) photon: the chain's quantum yield.
+     */
+    double quantumYield() const;
+
+    /**
+     * Mean detected TTF conditioned on detection: the sum of the
+     * per-site mean residence times (the memoryless residence time
+     * does not depend on which exit wins).
+     */
+    double conditionalMeanTtf() const;
+
+    /**
+     * Effective single-exponential rate of a 1-site chain (the
+     * RSU-G abstraction); asserts length() == 1.
+     */
+    double effectiveRate() const;
+
+    /**
+     * A single-site chain at the given relative concentration: the
+     * acceptor surround multiplies every depopulation channel, which
+     * scales the TTF distribution without changing the yield — the
+     * concentration knob of Sec. IV-B.4.
+     */
+    static ExcitonChain singleSite(double concentration,
+                                   double base_fluorescence = 0.05,
+                                   double base_non_radiative = 0.0);
+
+    /** A uniform n-site transfer chain (hypoexponential timing). */
+    static ExcitonChain uniformChain(unsigned n, double transfer_rate,
+                                     double terminal_fluorescence);
+
+  private:
+    std::vector<ChromophoreSite> sites_;
+};
+
+} // namespace ret
+} // namespace retsim
+
+#endif // RETSIM_RET_EXCITON_WALK_HH

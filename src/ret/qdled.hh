@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Quantum-dot LED light-source model.
+ *
+ * The previous RSU-G tunes the exponential decay rate through the
+ * QDLED emission intensity (one of 2^Lambda_bits levels); the new
+ * design drives a single fixed intensity and realizes the rates with
+ * chromophore concentrations instead (Sec. IV-B.4).  Intensity is in
+ * relative units: level k of an n-level source emits (k+1)/n...  more
+ * precisely the previous design needs intensities *proportional to the
+ * desired decay rates*, so levels map linearly onto 1..n.
+ */
+
+#ifndef RETSIM_RET_QDLED_HH
+#define RETSIM_RET_QDLED_HH
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace ret {
+
+class Qdled
+{
+  public:
+    /** @param levels Number of discrete intensity levels (>= 1). */
+    explicit Qdled(unsigned levels = 1) : levels_(levels)
+    {
+        RETSIM_ASSERT(levels >= 1, "QDLED needs at least one level");
+    }
+
+    unsigned levels() const { return levels_; }
+
+    /**
+     * Relative emission intensity of 0-based @p level; level k yields
+     * k+1 so rates scale linearly with the selected level.
+     */
+    double
+    intensity(unsigned level) const
+    {
+        RETSIM_ASSERT(level < levels_, "QDLED level ", level,
+                      " out of range (", levels_, " levels)");
+        return static_cast<double>(level + 1);
+    }
+
+  private:
+    unsigned levels_;
+};
+
+} // namespace ret
+} // namespace retsim
+
+#endif // RETSIM_RET_QDLED_HH

@@ -1,0 +1,87 @@
+#include "ret/ret_circuit.hh"
+
+#include "ret/truncation.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace ret {
+
+RetCircuit::RetCircuit(const RetCircuitConfig &config)
+    : config_(config),
+      windowBins_(1u << config.timeBits),
+      lambda0_(lambda0FromTruncation(config.truncation, windowBins_)),
+      qdled_(1),
+      spad_(config.darkCountPerBin)
+{
+    RETSIM_ASSERT(config.numConcentrations >= 1,
+                  "need at least one concentration");
+    RETSIM_ASSERT(config.numReplicaSets >= 1,
+                  "need at least one replica set");
+    RETSIM_ASSERT(config.timeBits >= 1 && config.timeBits <= 16,
+                  "timeBits out of range: ", config.timeBits);
+
+    networks_.reserve(static_cast<std::size_t>(config.numReplicaSets) *
+                      config.numConcentrations);
+    for (unsigned set = 0; set < config.numReplicaSets; ++set) {
+        for (unsigned c = 0; c < config.numConcentrations; ++c) {
+            // Concentrations 1x, 2x, 4x, ... realize the 2^n rates.
+            networks_.emplace_back(static_cast<double>(1u << c));
+        }
+    }
+}
+
+RetCircuit::SampleResult
+RetCircuit::sample(unsigned lambda_index, rng::Rng &gen)
+{
+    RETSIM_ASSERT(lambda_index < config_.numConcentrations,
+                  "lambda index ", lambda_index, " out of range");
+
+    // Each sample occupies exactly one observation window on this
+    // circuit; the QDLED counter selects the waveguide.
+    double window_start = static_cast<double>(samplesStarted_) *
+                          static_cast<double>(windowBins_);
+    unsigned set =
+        static_cast<unsigned>(samplesStarted_ % config_.numReplicaSets);
+    ++samplesStarted_;
+
+    // The light pulse excites every network on the waveguide.
+    std::size_t base =
+        static_cast<std::size_t>(set) * config_.numConcentrations;
+    for (unsigned c = 0; c < config_.numConcentrations; ++c) {
+        networks_[base + c].excite(window_start, lambda0_,
+                                   qdled_.intensity(0), gen);
+    }
+
+    // The MUX selects the SPAD of the requested concentration.
+    RetNetwork &selected = networks_[base + lambda_index];
+    RetNetwork::Emission emission = selected.nextEmission(window_start);
+    auto bin = spad_.detect(window_start, windowBins_, emission.time,
+                            gen);
+
+    SampleResult result;
+    ++totalSamples_;
+    if (bin.has_value()) {
+        result.fired = true;
+        result.bin = *bin;
+        result.bleedThrough = emission.birth < window_start &&
+                              emission.time <
+                                  window_start + windowBins_;
+        if (result.bleedThrough)
+            ++bleedThroughSamples_;
+    } else {
+        ++truncatedSamples_;
+    }
+    return result;
+}
+
+double
+RetCircuit::reuseSafety() const
+{
+    if (totalSamples_ == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(bleedThroughSamples_) /
+                     static_cast<double>(totalSamples_);
+}
+
+} // namespace ret
+} // namespace retsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The new RSU-G RET circuit of Fig. 11.
+ *
+ * One circuit owns numReplicaSets waveguides; each waveguide couples a
+ * QDLED to numConcentrations RET networks whose concentrations are
+ * 1x, 2x, 4x, ... of the lambda_0 concentration.  Each sample excites
+ * *every* network on the active waveguide (they share the light
+ * pulse); a MUX selects the SPAD of the network whose concentration
+ * realizes the requested decay rate.  A QDLED counter advances the
+ * active waveguide every sample, so a given network is reused only
+ * after numReplicaSets observation windows — the reuse-safety rotation
+ * of Sec. IV-B.6.  Stale photons from truncated samples are modeled
+ * and counted as bleed-through when they win a later window.
+ *
+ * A circuit starts one sample per observation window; an RSU-G
+ * round-robins `windowCycles` circuits to sustain one label per cycle
+ * (that composition lives in the pipeline model).
+ */
+
+#ifndef RETSIM_RET_RET_CIRCUIT_HH
+#define RETSIM_RET_RET_CIRCUIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ret/qdled.hh"
+#include "ret/ret_network.hh"
+#include "ret/spad.hh"
+#include "rng/rng.hh"
+
+namespace retsim {
+namespace ret {
+
+struct RetCircuitConfig
+{
+    unsigned numConcentrations = 4; ///< networks per waveguide
+    unsigned numReplicaSets = 8;    ///< waveguides rotated per sample
+    unsigned timeBits = 5;          ///< window = 2^timeBits bins
+    double truncation = 0.5;        ///< P(TTF > window | lambda_0)
+    double darkCountPerBin = 0.0;   ///< SPAD dark-count rate
+};
+
+class RetCircuit
+{
+  public:
+    struct SampleResult
+    {
+        bool fired = false;       ///< photon seen inside the window
+        unsigned bin = 0;         ///< 1-based time bin when fired
+        bool bleedThrough = false; ///< winning photon was stale
+    };
+
+    explicit RetCircuit(const RetCircuitConfig &config);
+
+    /**
+     * Run one observation window sampling the exponential realized by
+     * concentration index @p lambda_index (rate 2^index * lambda_0).
+     */
+    SampleResult sample(unsigned lambda_index, rng::Rng &gen);
+
+    const RetCircuitConfig &config() const { return config_; }
+    unsigned windowBins() const { return windowBins_; }
+    double lambda0() const { return lambda0_; }
+
+    std::uint64_t totalSamples() const { return totalSamples_; }
+    std::uint64_t truncatedSamples() const { return truncatedSamples_; }
+    std::uint64_t bleedThroughSamples() const
+    {
+        return bleedThroughSamples_;
+    }
+
+    /**
+     * Fraction of samples unaffected by stale photons so far; the
+     * design target is >= 0.996 (kReuseSafetyTarget).
+     */
+    double reuseSafety() const;
+
+  private:
+    RetCircuitConfig config_;
+    unsigned windowBins_;
+    double lambda0_;
+    Qdled qdled_;
+    Spad spad_;
+    // networks_[set * numConcentrations + conc]
+    std::vector<RetNetwork> networks_;
+    std::uint64_t samplesStarted_ = 0;
+    std::uint64_t totalSamples_ = 0;
+    std::uint64_t truncatedSamples_ = 0;
+    std::uint64_t bleedThroughSamples_ = 0;
+};
+
+} // namespace ret
+} // namespace retsim
+
+#endif // RETSIM_RET_RET_CIRCUIT_HH

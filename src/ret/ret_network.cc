@@ -1,0 +1,71 @@
+#include "ret/ret_network.hh"
+
+#include <limits>
+
+#include "rng/distributions.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace ret {
+
+RetNetwork::RetNetwork(double concentration)
+    : concentration_(concentration)
+{
+    RETSIM_ASSERT(concentration > 0.0,
+                  "concentration must be positive: ", concentration);
+}
+
+void
+RetNetwork::excite(double now, double base_rate, double intensity,
+                   rng::Rng &gen)
+{
+    RETSIM_ASSERT(base_rate > 0.0, "base rate must be positive");
+    RETSIM_ASSERT(intensity > 0.0, "intensity must be positive");
+    double rate = base_rate * concentration_ * intensity;
+    double ttf = rng::sampleExponential(gen, rate);
+    pending_.push_back(now + ttf);
+    pendingBirth_.push_back(now);
+    ++excitations_;
+}
+
+RetNetwork::Emission
+RetNetwork::nextEmission(double now)
+{
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    Emission earliest{inf, inf};
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i] < now)
+            continue; // photon already gone, SPAD was not looking
+        if (pending_[i] < earliest.time)
+            earliest = {pending_[i], pendingBirth_[i]};
+        pending_[keep] = pending_[i];
+        pendingBirth_[keep] = pendingBirth_[i];
+        ++keep;
+    }
+    pending_.resize(keep);
+    pendingBirth_.resize(keep);
+    return earliest;
+}
+
+bool
+RetNetwork::hotBefore(double window_start) const
+{
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pendingBirth_[i] < window_start &&
+            pending_[i] >= window_start) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+RetNetwork::reset()
+{
+    pending_.clear();
+    pendingBirth_.clear();
+}
+
+} // namespace ret
+} // namespace retsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Behavioral model of a single RET network ensemble.
+ *
+ * A RET network is an ensemble of chromophore structures whose time to
+ * fluorescence (TTF) after an excitation pulse is exponentially
+ * distributed with rate
+ *
+ *     rate = baseRate * concentration * intensity
+ *
+ * per time bin (Sec. II-C: the decay rate is tuned by QDLED intensity,
+ * chromophore concentration, or both).  The model is stateful: an
+ * excitation whose photon has not yet been emitted leaves the network
+ * "hot", and a later observation window can detect the stale photon —
+ * the bleed-through effect that forces replica rotation (Sec. IV-B.6).
+ */
+
+#ifndef RETSIM_RET_RET_NETWORK_HH
+#define RETSIM_RET_RET_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hh"
+
+namespace retsim {
+namespace ret {
+
+class RetNetwork
+{
+  public:
+    /**
+     * @param concentration Relative chromophore concentration; the new
+     *        RSU-G uses 1x/2x/4x/8x of the lambda_0 concentration.
+     */
+    explicit RetNetwork(double concentration = 1.0);
+
+    double concentration() const { return concentration_; }
+
+    /**
+     * Excite the network at absolute time @p now (in bins) with the
+     * given per-bin base rate and light intensity; draws the emission
+     * time of the resulting photon and remembers it.
+     */
+    void excite(double now, double base_rate, double intensity,
+                rng::Rng &gen);
+
+    /** A pending photon: when it will arrive and when it was created. */
+    struct Emission
+    {
+        double time;  ///< absolute emission time (+inf if dark)
+        double birth; ///< absolute excitation time that produced it
+    };
+
+    /**
+     * Earliest pending photon emission at or after @p now, or +inf if
+     * the network is dark.  Emissions strictly before @p now are
+     * dropped (the SPAD was not looking; the photon is lost).
+     */
+    Emission nextEmission(double now);
+
+    /** True if any excitation from before @p window_start is pending. */
+    bool hotBefore(double window_start) const;
+
+    /** Clear all pending state (device reset / test hook). */
+    void reset();
+
+    std::uint64_t totalExcitations() const { return excitations_; }
+
+  private:
+    double concentration_;
+    std::vector<double> pending_; // absolute emission times, unsorted
+    std::vector<double> pendingBirth_; // matching excitation times
+    std::uint64_t excitations_ = 0;
+};
+
+} // namespace ret
+} // namespace retsim
+
+#endif // RETSIM_RET_RET_NETWORK_HH

@@ -1,0 +1,50 @@
+#include "ret/truncation.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace ret {
+
+double
+lambda0FromTruncation(double truncation, unsigned t_max_bins)
+{
+    RETSIM_ASSERT(truncation > 0.0 && truncation < 1.0,
+                  "truncation must lie in (0, 1): ", truncation);
+    RETSIM_ASSERT(t_max_bins >= 1, "window must span at least one bin");
+    return -std::log(truncation) / static_cast<double>(t_max_bins);
+}
+
+double
+truncationFromLambda0(double lambda0, unsigned t_max_bins)
+{
+    RETSIM_ASSERT(lambda0 > 0.0, "lambda0 must be positive");
+    return std::exp(-lambda0 * static_cast<double>(t_max_bins));
+}
+
+double
+residualExcitation(double truncation, unsigned windows)
+{
+    RETSIM_ASSERT(truncation > 0.0 && truncation < 1.0,
+                  "truncation must lie in (0, 1): ", truncation);
+    return std::pow(truncation, static_cast<double>(windows));
+}
+
+unsigned
+replicasForReuseSafety(double truncation, double safety)
+{
+    RETSIM_ASSERT(safety > 0.0 && safety < 1.0,
+                  "safety must lie in (0, 1): ", safety);
+    double budget = 1.0 - safety;
+    unsigned replicas = 1;
+    while (residualExcitation(truncation, replicas) > budget) {
+        ++replicas;
+        RETSIM_ASSERT(replicas <= 1024,
+                      "unreasonable replica count; truncation too high");
+    }
+    return replicas;
+}
+
+} // namespace ret
+} // namespace retsim

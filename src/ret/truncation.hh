@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Distribution-truncation arithmetic (Sec. III-C.3 and IV-B.6).
+ *
+ * The RSU-G only observes fluorescence for a finite window of
+ * t_max = 2^Time_bits time bins.  `Truncation` is defined from a
+ * probability perspective: the chance that the *slowest* supported
+ * decay rate lambda_0 fluoresces after the window,
+ *
+ *     Truncation = P(TTF > t_max | lambda_0) = exp(-lambda_0 t_max).
+ *
+ * Fixing (Time_bits, Truncation) therefore fixes lambda_0, and with it
+ * every scaled rate lambda_i = k_i * lambda_0.  A RET network that was
+ * truncated may still hold excited chromophores; reusing it too soon
+ * risks an unwanted photon ("bleed-through").  The reuse-safety
+ * replica count of the new design comes from requiring the residual
+ * excitation probability at reuse time to be below 1 - 0.996.
+ */
+
+#ifndef RETSIM_RET_TRUNCATION_HH
+#define RETSIM_RET_TRUNCATION_HH
+
+namespace retsim {
+namespace ret {
+
+/** Reuse-safety target of both RSU-G designs: 99.6%. */
+inline constexpr double kReuseSafetyTarget = 0.996;
+
+/** Base decay rate per time bin implied by (truncation, t_max). */
+double lambda0FromTruncation(double truncation, unsigned t_max_bins);
+
+/** Inverse: truncation implied by (lambda0, t_max). */
+double truncationFromLambda0(double lambda0, unsigned t_max_bins);
+
+/**
+ * Probability that a lambda_0-rate network is still excited
+ * @p windows observation-windows after excitation: Truncation^windows.
+ */
+double residualExcitation(double truncation, unsigned windows);
+
+/**
+ * Smallest number of rotated RET-network replica sets such that the
+ * residual excitation at reuse time is <= 1 - safety.
+ * (Truncation = 0.5, safety 0.996 -> 8 replicas, Sec. IV-B.6;
+ * Truncation = 0.004 -> 1: the previous design needed no rotation for
+ * reuse safety — its 4 copies exist for pipelining.)
+ */
+unsigned replicasForReuseSafety(double truncation,
+                                double safety = kReuseSafetyTarget);
+
+} // namespace ret
+} // namespace retsim
+
+#endif // RETSIM_RET_TRUNCATION_HH

@@ -1,0 +1,113 @@
+#include "rng/distributions.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace rng {
+
+double
+sampleExponential(Rng &gen, double rate)
+{
+    RETSIM_ASSERT(rate > 0.0, "exponential rate must be positive");
+    return -std::log(gen.nextDoubleOpenLow()) / rate;
+}
+
+std::size_t
+sampleCategorical(Rng &gen, const std::vector<double> &weights)
+{
+    RETSIM_ASSERT(!weights.empty(), "empty weight vector");
+    double total = 0.0;
+    for (double w : weights) {
+        RETSIM_ASSERT(w >= 0.0, "negative categorical weight");
+        total += w;
+    }
+    RETSIM_ASSERT(total > 0.0, "categorical weights sum to zero");
+
+    double u = gen.nextDouble() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (u < acc)
+            return i;
+    }
+    // Floating-point slack: u can land at exactly `total`.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+CdfTable::CdfTable(const std::vector<double> &weights)
+{
+    RETSIM_ASSERT(!weights.empty(), "empty weight vector");
+    cdf_.resize(weights.size());
+    double total = 0.0;
+    for (double w : weights) {
+        RETSIM_ASSERT(w >= 0.0, "negative categorical weight");
+        total += w;
+    }
+    RETSIM_ASSERT(total > 0.0, "categorical weights sum to zero");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        cdf_[i] = acc / total;
+    }
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+CdfTable::sample(Rng &gen) const
+{
+    double u = gen.nextDouble();
+    // Binary search for the first entry > u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (cdf_[mid] > u)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+double
+CdfTable::probability(std::size_t i) const
+{
+    double prev = i == 0 ? 0.0 : cdf_.at(i - 1);
+    return cdf_.at(i) - prev;
+}
+
+double
+shannonEntropyBits(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0.0)
+        return 0.0;
+    double h = 0.0;
+    for (double w : weights) {
+        if (w <= 0.0)
+            continue;
+        double p = w / total;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double
+empiricalEntropyBits(const std::vector<std::uint64_t> &counts)
+{
+    std::vector<double> w(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        w[i] = static_cast<double>(counts[i]);
+    return shannonEntropyBits(w);
+}
+
+} // namespace rng
+} // namespace retsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Distribution samplers and information measures built over Rng.
+ *
+ * The software-only MCMC baseline samples categorical label
+ * distributions directly; the RET device model draws exponential
+ * time-to-fluorescence values; the CDF-LUT pseudo-RNG baseline of
+ * Table IV inverts a stored discrete CDF.  Entropy helpers back the
+ * paper's entropy-rate figure (Sec. II-C).
+ */
+
+#ifndef RETSIM_RNG_DISTRIBUTIONS_HH
+#define RETSIM_RNG_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hh"
+
+namespace retsim {
+namespace rng {
+
+/** Draw from Exp(rate): p(t) = rate * exp(-rate * t), rate > 0. */
+double sampleExponential(Rng &gen, double rate);
+
+/**
+ * Draw a label from an unnormalized weight vector by inverse-CDF over
+ * a single uniform.  Weights must be non-negative with positive sum.
+ */
+std::size_t sampleCategorical(Rng &gen, const std::vector<double> &weights);
+
+/**
+ * Discrete inverse-CDF sampler with a precomputed cumulative table —
+ * the structure a pure-CMOS sampling unit would keep in its LUT
+ * (Sec. IV-C: "store {1,3,6,7} for the distribution {1,2,3,1}").
+ * Weights are quantized to integers when built from quantized energy.
+ */
+class CdfTable
+{
+  public:
+    explicit CdfTable(const std::vector<double> &weights);
+
+    /** Sample a label using one uniform draw from @p gen. */
+    std::size_t sample(Rng &gen) const;
+
+    /** Probability of label i implied by the table. */
+    double probability(std::size_t i) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_; // normalized, cdf_.back() == 1.0
+};
+
+/** Shannon entropy (bits) of an unnormalized weight vector. */
+double shannonEntropyBits(const std::vector<double> &weights);
+
+/**
+ * Empirical Shannon entropy (bits/sample) of observed label counts —
+ * used to estimate the entropy generation rate of a sampler.
+ */
+double empiricalEntropyBits(const std::vector<std::uint64_t> &counts);
+
+} // namespace rng
+} // namespace retsim
+
+#endif // RETSIM_RNG_DISTRIBUTIONS_HH

@@ -1,0 +1,72 @@
+#include "rng/lfsr.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace rng {
+
+Lfsr::Lfsr(unsigned width, std::vector<unsigned> taps, std::uint64_t seed)
+    : width_(width), tapMask_(0)
+{
+    RETSIM_ASSERT(width >= 2 && width <= 63,
+                  "LFSR width out of range: ", width);
+    RETSIM_ASSERT(!taps.empty(), "LFSR needs at least one tap");
+    for (unsigned t : taps) {
+        RETSIM_ASSERT(t >= 1 && t <= width,
+                      "tap ", t, " outside register of width ", width);
+        tapMask_ |= std::uint64_t{1} << (t - 1);
+    }
+    std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+    state_ = seed & mask;
+    if (state_ == 0)
+        state_ = 1; // the all-zero state is a fixed point
+}
+
+Lfsr
+Lfsr::makeLfsr19(std::uint64_t seed)
+{
+    return Lfsr(19, {19, 18, 17, 14}, seed);
+}
+
+unsigned
+Lfsr::stepBit()
+{
+    // Fibonacci form, shifting left: the feedback bit is the XOR of
+    // the tap positions and enters at the LSB.  The resulting
+    // recurrence b_m = sum_t b_{m-t} realizes the reciprocal of the
+    // tap polynomial; reciprocals of primitive polynomials are
+    // primitive, so maximal tap sets stay maximal.
+    unsigned out = static_cast<unsigned>((state_ >> (width_ - 1)) & 1);
+    unsigned fb =
+        static_cast<unsigned>(std::popcount(state_ & tapMask_) & 1);
+    std::uint64_t mask = (std::uint64_t{1} << width_) - 1;
+    state_ = ((state_ << 1) | fb) & mask;
+    return out;
+}
+
+std::uint64_t
+Lfsr::stepBits(unsigned n)
+{
+    RETSIM_ASSERT(n >= 1 && n <= 64, "bit count out of range: ", n);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i)
+        v = (v << 1) | stepBit();
+    return v;
+}
+
+std::string
+Lfsr::name() const
+{
+    return "lfsr" + std::to_string(width_);
+}
+
+std::uint64_t
+Lfsr::maximalPeriod() const
+{
+    return (std::uint64_t{1} << width_) - 1;
+}
+
+} // namespace rng
+} // namespace retsim

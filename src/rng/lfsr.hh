@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fibonacci linear-feedback shift registers.
+ *
+ * The paper's Table IV compares the RSU-G against an aggressive 19-bit
+ * LFSR pseudo-RNG.  This model is bit-accurate: one shift per clock,
+ * feedback from a maximal-length tap set, so its period and statistical
+ * weaknesses (short period, linearity) are faithfully reproduced for
+ * the quality comparison discussed in Sec. IV-C.
+ */
+
+#ifndef RETSIM_RNG_LFSR_HH
+#define RETSIM_RNG_LFSR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hh"
+
+namespace retsim {
+namespace rng {
+
+class Lfsr : public Rng
+{
+  public:
+    /**
+     * @param width Register width in bits (2..63).
+     * @param taps Feedback tap positions, 1-based from the output end
+     *             (e.g., {19, 18, 17, 14} for the maximal 19-bit LFSR).
+     * @param seed Initial state; forced nonzero (all-zero locks up).
+     */
+    Lfsr(unsigned width, std::vector<unsigned> taps, std::uint64_t seed);
+
+    /** Maximal-length 19-bit LFSR, x^19 + x^18 + x^17 + x^14 + 1. */
+    static Lfsr makeLfsr19(std::uint64_t seed);
+
+    /** Advance one clock; returns the output bit. */
+    unsigned stepBit();
+
+    /** Gather n freshly clocked bits (n <= 64), MSB first. */
+    std::uint64_t stepBits(unsigned n);
+
+    std::uint64_t next64() override { return stepBits(64); }
+    std::string name() const override;
+
+    unsigned width() const { return width_; }
+    std::uint64_t state() const { return state_; }
+
+    /** Sequence period = 2^width - 1 for maximal tap sets. */
+    std::uint64_t maximalPeriod() const;
+
+  private:
+    unsigned width_;
+    std::uint64_t tapMask_;
+    std::uint64_t state_;
+};
+
+} // namespace rng
+} // namespace retsim
+
+#endif // RETSIM_RNG_LFSR_HH

@@ -1,0 +1,94 @@
+#include "rng/rng.hh"
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace rng {
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    RETSIM_ASSERT(bound != 0, "nextBounded requires bound > 0");
+    // Rejection sampling over the top of the range to avoid modulo bias.
+    std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+SplitMix64::next64()
+{
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : s_)
+        word = sm.next64();
+}
+
+std::uint64_t
+Xoshiro256::next64()
+{
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+void
+Xoshiro256::jump()
+{
+    static constexpr std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+
+    std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+    for (std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (std::uint64_t{1} << b)) {
+                for (std::size_t i = 0; i < 4; ++i)
+                    acc[i] ^= s_[i];
+            }
+            next64();
+        }
+    }
+    s_ = acc;
+}
+
+std::uint64_t
+streamSeed(std::uint64_t master, std::uint64_t index)
+{
+    SplitMix64 sm(master ^ (0x6a09e667f3bcc909ULL + index));
+    // Burn a couple of outputs so low-entropy (master, index) pairs
+    // still produce well-mixed seeds.
+    sm.next64();
+    return sm.next64();
+}
+
+} // namespace rng
+} // namespace retsim

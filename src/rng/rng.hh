@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Random number generator interfaces and core generators.
+ *
+ * Every stochastic component in retsim draws from an explicit Rng so
+ * experiments are reproducible and chains can run in parallel with
+ * independent streams.  The polymorphic base is used where a sampler
+ * must be generic over the entropy source (e.g., the CDF-LUT baseline
+ * compared across LFSR / mt19937 / true-RNG models in Table IV); hot
+ * loops use the concrete types directly.
+ */
+
+#ifndef RETSIM_RNG_RNG_HH
+#define RETSIM_RNG_RNG_HH
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace retsim {
+namespace rng {
+
+/** Abstract uniform bit source. */
+class Rng
+{
+  public:
+    virtual ~Rng() = default;
+
+    /** Next 64 uniform bits. */
+    virtual std::uint64_t next64() = 0;
+
+    /** Generator name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Uniform double in [0, 1) with 53 bits of precision. */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in (0, 1] — safe input for -log(). */
+    double
+    nextDoubleOpenLow()
+    {
+        return (static_cast<double>(next64() >> 11) + 1.0) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+};
+
+/**
+ * SplitMix64: tiny generator used for seeding other generators from a
+ * single 64-bit seed (Steele et al., OOPSLA'14 reference sequence).
+ */
+class SplitMix64 : public Rng
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next64() override;
+    std::string name() const override { return "splitmix64"; }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * xoshiro256** 1.0 (Blackman & Vigna) — the project's default fast
+ * generator for software baselines and device models.
+ */
+class Xoshiro256 : public Rng
+{
+  public:
+    explicit Xoshiro256(std::uint64_t seed);
+
+    std::uint64_t next64() override;
+    std::string name() const override { return "xoshiro256**"; }
+
+    /** Advance 2^128 steps; yields an independent parallel stream. */
+    void jump();
+
+  private:
+    std::array<std::uint64_t, 4> s_;
+};
+
+/** Mersenne Twister mt19937-64 wrapper (the paper's pseudo-RNG rival). */
+class Mt19937 : public Rng
+{
+  public:
+    explicit Mt19937(std::uint64_t seed) : engine_(seed) {}
+
+    std::uint64_t next64() override { return engine_(); }
+    std::string name() const override { return "mt19937"; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+/**
+ * Deterministic sequence generator for tests: replays a fixed list of
+ * values (cycling).  Lets unit tests pin the exact "random" draws a
+ * sampler sees.
+ */
+class CountingRng : public Rng
+{
+  public:
+    explicit CountingRng(std::vector<std::uint64_t> values)
+        : values_(std::move(values))
+    {
+    }
+
+    std::uint64_t
+    next64() override
+    {
+        std::uint64_t v = values_[pos_ % values_.size()];
+        ++pos_;
+        return v;
+    }
+
+    std::string name() const override { return "counting"; }
+    std::size_t draws() const { return pos_; }
+
+  private:
+    std::vector<std::uint64_t> values_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Derive the i-th independent stream seed from a master seed.  Uses
+ * SplitMix64 so streams are decorrelated even for adjacent indices.
+ */
+std::uint64_t streamSeed(std::uint64_t master, std::uint64_t index);
+
+} // namespace rng
+} // namespace retsim
+
+#endif // RETSIM_RNG_RNG_HH

@@ -1,0 +1,86 @@
+#include "util/cli.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace util {
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            std::string body = arg.substr(2);
+            auto eq = body.find('=');
+            if (eq == std::string::npos) {
+                options_[body] = "true";
+            } else {
+                options_[body.substr(0, eq)] = body.substr(eq + 1);
+            }
+        } else {
+            positional_.push_back(arg);
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &key) const
+{
+    return options_.count(key) != 0;
+}
+
+std::string
+CliArgs::getString(const std::string &key, const std::string &def) const
+{
+    auto it = options_.find(key);
+    return it == options_.end() ? def : it->second;
+}
+
+long
+CliArgs::getInt(const std::string &key, long def) const
+{
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return def;
+    char *end = nullptr;
+    long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        RETSIM_FATAL("option --", key, " expects an integer, got '",
+                     it->second, "'");
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string &key, double def) const
+{
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        RETSIM_FATAL("option --", key, " expects a number, got '",
+                     it->second, "'");
+    return v;
+}
+
+bool
+CliArgs::getBool(const std::string &key, bool def) const
+{
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    RETSIM_FATAL("option --", key, " expects a boolean, got '", v, "'");
+}
+
+} // namespace util
+} // namespace retsim

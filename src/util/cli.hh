@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal command-line option parser for the examples and benches.
+ *
+ * Accepts "--key=value" and "--flag" arguments; anything else is kept
+ * as a positional argument.  Typed getters fall back to a default and
+ * fatal() on malformed values so misconfiguration is loud.
+ */
+
+#ifndef RETSIM_UTIL_CLI_HH
+#define RETSIM_UTIL_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace retsim {
+namespace util {
+
+class CliArgs
+{
+  public:
+    CliArgs(int argc, const char *const *argv);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    long getInt(const std::string &key, long def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    const std::string &programName() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace util
+} // namespace retsim
+
+#endif // RETSIM_UTIL_CLI_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Quantization helpers shared by the RSU-G precision models.
+ *
+ * The RSU-G study quantizes three quantities: energies (unsigned,
+ * Energy_bits wide, saturating), decay rates (truncated integers with
+ * optional power-of-two approximation) and time bins (1..2^Time_bits).
+ * These helpers keep the rounding conventions in one place so the
+ * functional simulator and the cycle-level pipeline model are
+ * bit-identical.
+ */
+
+#ifndef RETSIM_UTIL_FIXED_POINT_HH
+#define RETSIM_UTIL_FIXED_POINT_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace util {
+
+/** Largest value representable in an unsigned field of @p bits bits. */
+constexpr std::uint64_t
+maxUnsigned(unsigned bits)
+{
+    return bits >= 64 ? std::numeric_limits<std::uint64_t>::max()
+                      : ((std::uint64_t{1} << bits) - 1);
+}
+
+/**
+ * Saturating round-to-nearest quantization of a non-negative real into
+ * an unsigned field of @p bits bits.  Negative inputs clamp to zero.
+ */
+inline std::uint64_t
+quantizeUnsigned(double x, unsigned bits)
+{
+    if (!(x > 0.0))
+        return 0;
+    double r = std::nearbyint(x);
+    double max = static_cast<double>(maxUnsigned(bits));
+    if (r >= max)
+        return maxUnsigned(bits);
+    return static_cast<std::uint64_t>(r);
+}
+
+/** Truncate (floor) a non-negative real to an integer; negatives -> 0. */
+inline std::uint64_t
+truncateToInt(double x)
+{
+    if (!(x > 0.0))
+        return 0;
+    return static_cast<std::uint64_t>(std::floor(x));
+}
+
+/**
+ * Round a positive integer down to the nearest power of two.  Zero maps
+ * to zero.  This implements the paper's "2^n lambda approximation"
+ * which shrinks the number of unique decay rates from 2^Lambda_bits to
+ * Lambda_bits.
+ */
+constexpr std::uint64_t
+floorPow2(std::uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    return std::uint64_t{1} << (63 - std::countl_zero(v));
+}
+
+/** True if @p v is zero or an exact power of two. */
+constexpr bool
+isPow2OrZero(std::uint64_t v)
+{
+    return (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two (undefined for zero). */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    return static_cast<unsigned>(63 - std::countl_zero(v));
+}
+
+/** Saturating unsigned subtraction a - b. */
+constexpr std::uint64_t
+satSub(std::uint64_t a, std::uint64_t b)
+{
+    return a > b ? a - b : 0;
+}
+
+} // namespace util
+} // namespace retsim
+
+#endif // RETSIM_UTIL_FIXED_POINT_HH

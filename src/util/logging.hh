@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user error (bad
+ * configuration, impossible parameters) and exits cleanly; panic() is
+ * for internal invariant violations and aborts.  Both print the source
+ * location and a printf-style formatted message.
+ */
+
+#ifndef RETSIM_UTIL_LOGGING_HH
+#define RETSIM_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace retsim {
+namespace util {
+
+/** Terminate with a user-facing error (bad input or configuration). */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+/** Terminate on an internal invariant violation (a simulator bug). */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+/** Print a non-fatal warning to stderr. */
+inline void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace util
+} // namespace retsim
+
+#define RETSIM_FATAL(...) \
+    ::retsim::util::fatalImpl(__FILE__, __LINE__, \
+        ::retsim::util::formatMessage(__VA_ARGS__))
+
+#define RETSIM_PANIC(...) \
+    ::retsim::util::panicImpl(__FILE__, __LINE__, \
+        ::retsim::util::formatMessage(__VA_ARGS__))
+
+#define RETSIM_WARN(...) \
+    ::retsim::util::warnImpl(::retsim::util::formatMessage(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define RETSIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            RETSIM_PANIC("assertion '" #cond "' failed: ", \
+                         ::retsim::util::formatMessage(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // RETSIM_UTIL_LOGGING_HH

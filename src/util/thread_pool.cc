@@ -1,0 +1,120 @@
+#include "util/thread_pool.hh"
+
+#include <memory>
+
+namespace retsim {
+namespace util {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 4;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+namespace {
+
+/**
+ * Shared state for one parallelFor invocation.  Queued tasks hold a
+ * shared_ptr so a task that runs after the caller has already been
+ * released never touches dangling stack state.
+ */
+struct ForState
+{
+    std::function<void(std::size_t)> body;
+    std::size_t count;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+};
+
+void
+runChunk(const std::shared_ptr<ForState> &st)
+{
+    for (;;) {
+        std::size_t i = st->next.fetch_add(1);
+        if (i >= st->count)
+            break;
+        st->body(i);
+        if (st->done.fetch_add(1) + 1 == st->count) {
+            std::lock_guard<std::mutex> lock(st->mutex);
+            st->cv.notify_all();
+        }
+    }
+}
+
+} // namespace
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (count == 1 || workers_.empty()) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    auto st = std::make_shared<ForState>();
+    st->body = body;
+    st->count = count;
+
+    std::size_t jobs = std::min(count, workers_.size());
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t j = 0; j < jobs; ++j)
+            tasks_.push([st] { runChunk(st); });
+    }
+    cv_.notify_all();
+
+    // The caller participates too, then waits for stragglers.
+    runChunk(st);
+    std::unique_lock<std::mutex> lock(st->mutex);
+    st->cv.wait(lock, [&] { return st->done.load() >= count; });
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace util
+} // namespace retsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-size thread pool with a blocking parallel-for.
+ *
+ * The benchmark harness runs many independent MCMC chains (e.g., 30
+ * segmentation images x 4 label counts); parallelFor distributes those
+ * chains across hardware threads.  Each chain owns its RNG so results
+ * are deterministic regardless of scheduling.
+ */
+
+#ifndef RETSIM_UTIL_THREAD_POOL_HH
+#define RETSIM_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace retsim {
+namespace util {
+
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means hardware_concurrency(). */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t numThreads() const { return workers_.size(); }
+
+    /**
+     * Run body(i) for i in [0, count) across the pool and block until
+     * every iteration has completed.  Iterations must be independent.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Process-wide pool sized to the machine. */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace util
+} // namespace retsim
+
+#endif // RETSIM_UTIL_THREAD_POOL_HH

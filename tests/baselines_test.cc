@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the deterministic baselines (ICM, loopy min-sum BP) and
+ * their relationship to the annealed Gibbs solver — the quality
+ * context the paper cites (energy-minimization methods vs MCMC).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/stereo.hh"
+#include "core/sampler_software.hh"
+#include "img/synthetic.hh"
+#include "metrics/stereo_metrics.hh"
+#include "mrf/belief_propagation.hh"
+#include "mrf/icm.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::mrf;
+
+img::StereoScene
+baselineScene()
+{
+    img::StereoSceneSpec spec;
+    spec.name = "base";
+    spec.width = 64;
+    spec.height = 48;
+    spec.numLabels = 12;
+    spec.numObjects = 4;
+    return img::makeStereoScene(spec, 0xbead);
+}
+
+// ------------------------------------------------------------------ ICM
+
+TEST(Icm, ConvergesAndStops)
+{
+    auto scene = baselineScene();
+    auto problem = apps::buildStereoProblem(scene);
+    IcmSolver icm(50, 3);
+    SolverTrace trace;
+    auto labels = icm.run(problem, &trace);
+
+    // Convergence: fewer recorded sweeps than the cap, and the last
+    // sweep changed nothing extra (energy plateaued).
+    ASSERT_GE(trace.energyPerSweep.size(), 2u);
+    EXPECT_LT(trace.energyPerSweep.size(), 50u);
+    auto n = trace.energyPerSweep.size();
+    EXPECT_DOUBLE_EQ(trace.energyPerSweep[n - 1],
+                     trace.energyPerSweep[n - 2]);
+}
+
+TEST(Icm, MonotoneEnergyDescent)
+{
+    auto scene = baselineScene();
+    auto problem = apps::buildStereoProblem(scene);
+    IcmSolver icm(50, 5);
+    SolverTrace trace;
+    icm.run(problem, &trace);
+    for (std::size_t i = 1; i < trace.energyPerSweep.size(); ++i)
+        EXPECT_LE(trace.energyPerSweep[i],
+                  trace.energyPerSweep[i - 1] + 1e-3);
+}
+
+TEST(Icm, BeatsRandomButTrailsAnnealedGibbs)
+{
+    auto scene = baselineScene();
+    auto problem = apps::buildStereoProblem(scene);
+
+    IcmSolver icm(50, 7);
+    SolverTrace icm_trace;
+    auto icm_labels = icm.run(problem, &icm_trace);
+
+    core::SoftwareSampler sw;
+    GibbsSolver gibbs(apps::defaultStereoSolver(80, 7));
+    SolverTrace gibbs_trace;
+    auto gibbs_labels = gibbs.run(problem, sw, &gibbs_trace);
+
+    double icm_energy = icm_trace.energyPerSweep.back();
+    double gibbs_energy = gibbs_trace.energyPerSweep.back();
+    // ICM descends far below the random start...
+    EXPECT_LT(icm_energy, icm_trace.energyPerSweep.front());
+    // ...but annealing escapes the local minima ICM is stuck in.
+    EXPECT_LT(gibbs_energy, icm_energy);
+}
+
+// ------------------------------------------------------------------- BP
+
+TEST(BeliefPropagation, ReachesGibbsClassEnergy)
+{
+    auto scene = baselineScene();
+    auto problem = apps::buildStereoProblem(scene);
+
+    BeliefPropagationSolver bp({30, 0.5});
+    SolverTrace bp_trace;
+    auto bp_labels = bp.run(problem, &bp_trace);
+
+    core::SoftwareSampler sw;
+    GibbsSolver gibbs(apps::defaultStereoSolver(80, 9));
+    SolverTrace gibbs_trace;
+    gibbs.run(problem, sw, &gibbs_trace);
+
+    // Min-sum BP is the strong deterministic baseline: its final
+    // energy must land in the annealed-Gibbs class (within 15%), far
+    // below ICM's.
+    double bp_energy = problem.totalEnergy(bp_labels);
+    double gibbs_energy = gibbs_trace.energyPerSweep.back();
+    EXPECT_LT(bp_energy, gibbs_energy * 1.15);
+
+    IcmSolver icm(50, 9);
+    SolverTrace icm_trace;
+    icm.run(problem, &icm_trace);
+    EXPECT_LT(bp_energy, icm_trace.energyPerSweep.back());
+}
+
+TEST(BeliefPropagation, GoodStereoQuality)
+{
+    auto scene = baselineScene();
+    auto problem = apps::buildStereoProblem(scene);
+    BeliefPropagationSolver bp({30, 0.5});
+    auto labels = bp.run(problem);
+    double bp_pct =
+        metrics::badPixelPercent(labels, scene.gtDisparity);
+    EXPECT_LT(bp_pct, 30.0);
+}
+
+TEST(BeliefPropagation, DeterministicAndEnergyImproves)
+{
+    auto scene = baselineScene();
+    auto problem = apps::buildStereoProblem(scene);
+    BeliefPropagationSolver bp({20, 0.5});
+    SolverTrace trace;
+    auto a = bp.run(problem, &trace);
+    auto b = bp.run(problem);
+    EXPECT_EQ(a.data(), b.data());
+    EXPECT_LT(trace.energyPerSweep.back(),
+              trace.energyPerSweep.front());
+}
+
+TEST(BeliefPropagation, SingleIterationRunsAndDecodes)
+{
+    auto scene = baselineScene();
+    auto problem = apps::buildStereoProblem(scene);
+    BeliefPropagationSolver bp({1, 1.0});
+    auto labels = bp.run(problem);
+    for (int l : labels.data()) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, problem.numLabels());
+    }
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the hardware energy-computation stage: distance datapath
+ * per kind, fixed-point weighting, truncation, saturation, and the
+ * closing cross-check — the integer datapath must agree with the
+ * float-path mrf::MrfProblem conditionals on a real motion problem
+ * (whose weights are exactly representable in Q4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/motion.hh"
+#include "core/energy_stage.hh"
+#include "img/synthetic.hh"
+#include "util/fixed_point.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::core;
+
+TEST(EnergyStage, DistanceKinds)
+{
+    auto abs_stage = EnergyStage::scalarLabels(
+        mrf::DistanceKind::Absolute, 10, 16, 0);
+    EXPECT_EQ(abs_stage.labelDistance(2, 7), 5u);
+    EXPECT_EQ(abs_stage.labelDistance(7, 2), 5u);
+
+    auto sq_stage = EnergyStage::scalarLabels(
+        mrf::DistanceKind::Squared, 10, 16, 0);
+    EXPECT_EQ(sq_stage.labelDistance(2, 7), 25u);
+
+    auto bin_stage = EnergyStage::scalarLabels(
+        mrf::DistanceKind::Binary, 10, 16, 0);
+    EXPECT_EQ(bin_stage.labelDistance(2, 7), 1u);
+    EXPECT_EQ(bin_stage.labelDistance(4, 4), 0u);
+}
+
+TEST(EnergyStage, VectorLabelsViaLut)
+{
+    // 2-D motion values: the label LUT makes distances act on the
+    // application values, not the indices.
+    std::vector<std::array<int, 2>> values = {
+        {0, 0}, {1, 0}, {-2, 3}};
+    EnergyStage stage(mrf::DistanceKind::Squared, values, 16, 0);
+    EXPECT_EQ(stage.labelDistance(0, 1), 1u);
+    EXPECT_EQ(stage.labelDistance(0, 2), 13u);
+    EXPECT_EQ(stage.labelDistance(1, 2), 18u);
+}
+
+TEST(EnergyStage, WeightingTruncationSaturation)
+{
+    // weight 1.5 (24 in Q4), tau 4.
+    auto stage = EnergyStage::scalarLabels(
+        mrf::DistanceKind::Absolute, 32, 24, 4, 8);
+    // One neighbor at distance 10: truncated to 4, x1.5 = 6.
+    int n1[] = {12};
+    EXPECT_EQ(stage.compute(0, n1, 2), 6u);
+    // Singleton adds linearly.
+    EXPECT_EQ(stage.compute(100, n1, 2), 106u);
+    // Saturation at 255.
+    int n4[] = {31, 31, 31, 31};
+    EXPECT_EQ(stage.compute(250, n4, 0), 255u);
+}
+
+TEST(EnergyStage, EmptyNeighborListIsSingletonOnly)
+{
+    auto stage = EnergyStage::scalarLabels(
+        mrf::DistanceKind::Absolute, 8, 16, 0);
+    EXPECT_EQ(stage.compute(42, {}, 3), 42u);
+}
+
+TEST(EnergyStage, LutBitsScaleWithLabels)
+{
+    auto small = EnergyStage::scalarLabels(
+        mrf::DistanceKind::Binary, 8, 16, 0);
+    auto large = EnergyStage::scalarLabels(
+        mrf::DistanceKind::Binary, 64, 16, 0);
+    EXPECT_EQ(large.lutBits(), 8u * small.lutBits());
+    EXPECT_EQ(large.lutBits(), 1024u); // 64 entries x 2 x 8 bits
+}
+
+TEST(EnergyStage, MatchesMrfProblemOnMotionWorkload)
+{
+    // The closing cross-check: a real motion problem with Q4-exact
+    // weights, evaluated through both the float application path and
+    // the integer hardware datapath.
+    img::MotionSceneSpec spec;
+    spec.width = 24;
+    spec.height = 20;
+    spec.windowRadius = 2;
+    auto scene = img::makeMotionScene(spec, 0xeef);
+
+    apps::MotionParams params;
+    params.smoothWeight = 1.5; // 24 / 16: exactly representable
+    params.smoothTau = 20.0;
+    auto problem = apps::buildMotionProblem(scene, params);
+
+    auto table = apps::motionLabelTable(2);
+    std::vector<std::array<int, 2>> values(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i)
+        values[i] = {table[i].x, table[i].y};
+    EnergyStage stage(mrf::DistanceKind::Squared, values,
+                      /*weight_q4=*/24, /*tau=*/20, /*bits=*/16);
+
+    img::LabelMap labels(spec.width, spec.height, 0);
+    rng::Xoshiro256 gen(5);
+    for (int &l : labels.data())
+        l = static_cast<int>(gen.nextBounded(25));
+
+    std::vector<float> reference(25);
+    for (auto [x, y] : {std::pair{5, 5}, std::pair{0, 0},
+                        std::pair{23, 19}, std::pair{11, 7}}) {
+        problem.conditionalEnergies(labels, x, y, reference);
+        std::vector<int> neighbors;
+        if (x > 0)
+            neighbors.push_back(labels(x - 1, y));
+        if (x + 1 < spec.width)
+            neighbors.push_back(labels(x + 1, y));
+        if (y > 0)
+            neighbors.push_back(labels(x, y - 1));
+        if (y + 1 < spec.height)
+            neighbors.push_back(labels(x, y + 1));
+
+        for (int l = 0; l < 25; ++l) {
+            // Quantize the singleton the way the hardware front-end
+            // receives it, then ask the datapath for the total.
+            std::uint32_t singleton_q =
+                static_cast<std::uint32_t>(util::quantizeUnsigned(
+                    problem.singleton(x, y, l), 16));
+            std::uint32_t hw =
+                stage.compute(singleton_q, neighbors, l);
+            // Error envelope of the integer datapath: the singleton
+            // rounds once (+-0.5) and each neighbor's Q4 weighting
+            // floors (losing < 1), so hw lies in
+            // (ref - 0.5 - #neighbors, ref + 0.5].
+            EXPECT_LE(static_cast<double>(hw), reference[l] + 0.51)
+                << "pixel " << x << "," << y << " label " << l;
+            EXPECT_GT(static_cast<double>(hw),
+                      reference[l] - 0.51 -
+                          static_cast<double>(neighbors.size()))
+                << "pixel " << x << "," << y << " label " << l;
+        }
+    }
+}
+
+TEST(EnergyStage, RejectsOversizedLut)
+{
+    std::vector<std::array<int, 2>> values(65, {0, 0});
+    EXPECT_DEATH(EnergyStage(mrf::DistanceKind::Binary, values, 16, 0),
+                 "RSU range");
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the exciton-level RET chain model: the RSU-G's assumed
+ * exponential TTF must *emerge* from the chromophore random walk,
+ * quantum yields must follow the channel-rate arithmetic,
+ * concentration must scale the rate without changing the yield, and
+ * multi-site chains must match the phase-type (hypoexponential)
+ * distributions of core/phase_type.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/phase_type.hh"
+#include "ret/exciton_walk.hh"
+#include "rng/rng.hh"
+#include "util/stats.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::ret;
+
+TEST(ChromophoreSite, RateArithmetic)
+{
+    ChromophoreSite s;
+    s.transferRate = 0.3;
+    s.fluorescenceRate = 0.5;
+    s.nonRadiativeRate = 0.2;
+    EXPECT_DOUBLE_EQ(s.totalRate(), 1.0);
+    EXPECT_DOUBLE_EQ(s.transferProbability(), 0.3);
+}
+
+TEST(ExcitonChain, SingleSiteTtfIsExponential)
+{
+    // The abstraction the whole RSU-G rests on: one chromophore's
+    // detected TTF is exponential with the total depopulation rate.
+    auto chain = ExcitonChain::singleSite(4.0, 0.05, 0.0);
+    EXPECT_DOUBLE_EQ(chain.effectiveRate(), 0.2);
+
+    rng::Xoshiro256 gen(3);
+    util::RunningStats s;
+    int detected = 0;
+    const int kExcitons = 50000;
+    for (int i = 0; i < kExcitons; ++i) {
+        auto out = chain.propagate(gen);
+        if (out.fate == ExcitonOutcome::Fate::TerminalFluorescence) {
+            ++detected;
+            s.add(out.time);
+        }
+    }
+    // No non-radiative channel: every exciton is detected.
+    EXPECT_EQ(detected, kExcitons);
+    // Exponential: mean = 1/rate, stddev = mean.
+    EXPECT_NEAR(s.mean(), 5.0, 0.1);
+    EXPECT_NEAR(std::sqrt(s.variance()), 5.0, 0.15);
+}
+
+TEST(ExcitonChain, ConcentrationScalesRateNotYield)
+{
+    // Sec. IV-B.4's knob: concentrations 1x..8x must realize rates
+    // 1..8 lambda_0 with identical quantum yield.
+    auto c1 = ExcitonChain::singleSite(1.0, 0.05, 0.01);
+    auto c8 = ExcitonChain::singleSite(8.0, 0.05, 0.01);
+    EXPECT_NEAR(c8.effectiveRate() / c1.effectiveRate(), 8.0, 1e-12);
+    EXPECT_NEAR(c8.quantumYield(), c1.quantumYield(), 1e-12);
+    EXPECT_NEAR(c1.quantumYield(), 0.05 / 0.06, 1e-12);
+}
+
+TEST(ExcitonChain, QuantumYieldMatchesEmpirical)
+{
+    std::vector<ChromophoreSite> sites(2);
+    sites[0].transferRate = 0.6;
+    sites[0].fluorescenceRate = 0.1; // off-band: lost if it fires here
+    sites[0].nonRadiativeRate = 0.3;
+    sites[1].fluorescenceRate = 0.7;
+    sites[1].nonRadiativeRate = 0.3;
+    ExcitonChain chain(sites);
+
+    double expected = 0.6 * 0.7; // P(transfer) * P(terminal fluor)
+    EXPECT_NEAR(chain.quantumYield(), expected, 1e-12);
+
+    rng::Xoshiro256 gen(7);
+    int detected = 0, early = 0, lost = 0;
+    const int kExcitons = 60000;
+    for (int i = 0; i < kExcitons; ++i) {
+        switch (chain.propagate(gen).fate) {
+          case ExcitonOutcome::Fate::TerminalFluorescence:
+            ++detected;
+            break;
+          case ExcitonOutcome::Fate::EarlyFluorescence:
+            ++early;
+            break;
+          case ExcitonOutcome::Fate::NonRadiative:
+            ++lost;
+            break;
+        }
+    }
+    EXPECT_NEAR(detected / double(kExcitons), expected, 0.01);
+    EXPECT_NEAR(early / double(kExcitons), 0.1, 0.01);
+    EXPECT_NEAR(lost / double(kExcitons), 0.3 + 0.6 * 0.3, 0.01);
+}
+
+TEST(ExcitonChain, UniformChainMatchesPhaseType)
+{
+    // A lossless 3-hop chain into a terminal emitter realizes the
+    // hypoexponential of core/phase_type.hh: transfer, transfer,
+    // then terminal depopulation.
+    auto chain = ExcitonChain::uniformChain(3, 0.4, 0.25);
+    EXPECT_DOUBLE_EQ(chain.quantumYield(), 1.0);
+
+    core::PhaseTypeSampler reference({0.4, 0.4, 0.25});
+    EXPECT_NEAR(chain.conditionalMeanTtf(), reference.mean(), 1e-12);
+
+    rng::Xoshiro256 gen(11);
+    util::RunningStats s;
+    for (int i = 0; i < 50000; ++i) {
+        auto out = chain.propagate(gen);
+        ASSERT_EQ(out.fate,
+                  ExcitonOutcome::Fate::TerminalFluorescence);
+        s.add(out.time);
+    }
+    EXPECT_NEAR(s.mean(), reference.mean(), 0.1);
+    EXPECT_NEAR(s.sampleVariance(), reference.variance(),
+                reference.variance() * 0.06);
+}
+
+TEST(ExcitonChain, EarlyFluorescenceReportsSite)
+{
+    std::vector<ChromophoreSite> sites(2);
+    sites[0].fluorescenceRate = 1.0; // never transfers
+    sites[1].fluorescenceRate = 1.0;
+    ExcitonChain chain(sites);
+    rng::Xoshiro256 gen(13);
+    auto out = chain.propagate(gen);
+    EXPECT_EQ(out.fate, ExcitonOutcome::Fate::EarlyFluorescence);
+    EXPECT_EQ(out.site, 0u);
+}
+
+TEST(ExcitonChain, RejectsTerminalTransfer)
+{
+    std::vector<ChromophoreSite> sites(1);
+    sites[0].transferRate = 0.5;
+    sites[0].fluorescenceRate = 0.5;
+    EXPECT_DEATH(ExcitonChain chain(sites), "terminal");
+}
+
+} // namespace

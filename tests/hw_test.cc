@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the hardware models: the cost model must reproduce every
+ * Table III / Table IV row and the prose anchors (same area, 1.27x
+ * power, the 12,800 um^2 naive-scaling figure, the 0.46x/0.22x
+ * converter swap), and the performance model must reproduce Table II's
+ * execution times and speedup shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rsu_config.hh"
+#include "hw/cost_model.hh"
+#include "hw/perf_model.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::core;
+using namespace retsim::hw;
+
+// ------------------------------------------------------------ Table III
+
+class CostModelTableIII : public ::testing::Test
+{
+  protected:
+    CostModel model_;
+    RsuConfig cfg_ = RsuConfig::newDesign();
+};
+
+TEST_F(CostModelTableIII, RetCircuitRow)
+{
+    auto b = model_.newDesign(cfg_);
+    EXPECT_NEAR(b.retCircuit.areaUm2, 1120.0, 1.0);
+    EXPECT_NEAR(b.retCircuit.powerMw, 0.08, 0.005);
+}
+
+TEST_F(CostModelTableIII, CmosCircuitryRow)
+{
+    auto b = model_.newDesign(cfg_);
+    EXPECT_NEAR(b.cmosCircuitry.areaUm2, 1128.0, 1.0);
+    EXPECT_NEAR(b.cmosCircuitry.powerMw, 3.49, 0.01);
+}
+
+TEST_F(CostModelTableIII, LabelLutRow)
+{
+    auto b = model_.newDesign(cfg_);
+    EXPECT_NEAR(b.labelLut.areaUm2, 655.0, 1.0);
+    EXPECT_NEAR(b.labelLut.powerMw, 1.42, 0.01);
+}
+
+TEST_F(CostModelTableIII, TotalRow)
+{
+    auto t = model_.newDesign(cfg_).total();
+    EXPECT_NEAR(t.areaUm2, 2903.0, 2.0);
+    EXPECT_NEAR(t.powerMw, 4.99, 0.02);
+}
+
+TEST_F(CostModelTableIII, SameAreaOnePointTwoSevenPower)
+{
+    // The headline claim: equivalent area, 1.27x power vs. the
+    // previous design (prev: 0.0029 mm^2, 3.91 mW).
+    auto new_total = model_.newDesign(cfg_).total();
+    auto prev_total =
+        model_.previousDesign(RsuConfig::previousDesign()).total();
+    EXPECT_NEAR(prev_total.areaUm2, 2900.0, 5.0);
+    EXPECT_NEAR(prev_total.powerMw, 3.91, 0.02);
+    EXPECT_NEAR(new_total.areaUm2 / prev_total.areaUm2, 1.0, 0.01);
+    EXPECT_NEAR(new_total.powerMw / prev_total.powerMw, 1.27, 0.01);
+}
+
+TEST_F(CostModelTableIII, NewRetCircuitCheaperThanPrev)
+{
+    // Sec. IV-C: a single RET circuit alone is 0.7x area and 0.5x
+    // power of the previous design's.
+    auto new_ret = model_.newDesign(cfg_).retCircuit;
+    auto prev_ret = model_.intensityRetCircuit(4);
+    EXPECT_NEAR(new_ret.areaUm2 / prev_ret.areaUm2, 0.7, 0.01);
+    EXPECT_NEAR(new_ret.powerMw / prev_ret.powerMw, 0.5, 0.01);
+}
+
+TEST_F(CostModelTableIII, NaiveIntensityScalingAnchor)
+{
+    // "Naively scaling the design with Lambda_bits = 7 requires 128
+    // unique decay rates, expanding the RET circuit area by 8x to
+    // 12,800 um^2."
+    auto at4 = model_.intensityRetCircuit(4);
+    auto at7 = model_.intensityRetCircuit(7);
+    EXPECT_NEAR(at7.areaUm2, 12800.0, 1.0);
+    EXPECT_NEAR(at7.areaUm2 / at4.areaUm2, 8.0, 0.01);
+}
+
+TEST_F(CostModelTableIII, ConverterSwapRatios)
+{
+    auto lut = model_.lutConverter(cfg_);
+    auto cmp = model_.comparatorConverter(cfg_);
+    EXPECT_NEAR(cmp.areaUm2 / lut.areaUm2, 0.46, 0.005);
+    EXPECT_NEAR(cmp.powerMw / lut.powerMw, 0.22, 0.005);
+}
+
+// ------------------------------------------------------------- Table IV
+
+class CostModelTableIV : public ::testing::Test
+{
+  protected:
+    CostModel model_;
+    RsuConfig cfg_ = RsuConfig::newDesign();
+};
+
+TEST_F(CostModelTableIV, RsugSharingRows)
+{
+    EXPECT_NEAR(model_.newDesign(cfg_, 1).total().areaUm2, 2903.0,
+                2.0);
+    EXPECT_NEAR(model_.newDesign(cfg_, 4).total().areaUm2, 2303.0,
+                2.0);
+    EXPECT_NEAR(model_.newDesignOptimistic(cfg_).total().areaUm2,
+                1867.0, 2.0);
+}
+
+TEST_F(CostModelTableIV, SharingIsMonotone)
+{
+    double prev_area = 1e18;
+    for (unsigned share : {1u, 2u, 4u, 8u, 64u}) {
+        double area = model_.newDesign(cfg_, share).total().areaUm2;
+        EXPECT_LT(area, prev_area);
+        prev_area = area;
+    }
+    EXPECT_GT(prev_area,
+              model_.newDesignOptimistic(cfg_).total().areaUm2);
+}
+
+TEST_F(CostModelTableIV, AlternativeRngRows)
+{
+    EXPECT_NEAR(model_.intelDrngUnit().areaUm2, 3721.0, 1.0);
+    EXPECT_NEAR(model_.lfsrUnit().areaUm2, 2186.0, 1.0);
+    EXPECT_NEAR(model_.mt19937Unit(1).areaUm2, 19269.0, 1.0);
+    EXPECT_NEAR(model_.mt19937Unit(4).areaUm2, 6507.0, 1.0);
+    // The paper's own 208-share row is rounded from the same scaling
+    // law; our model lands within 2 um^2.
+    EXPECT_NEAR(model_.mt19937Unit(208).areaUm2, 2336.0, 2.0);
+}
+
+TEST_F(CostModelTableIV, RsugCompetitiveWithLfsr)
+{
+    // The qualitative claim: a true-RNG RSU-G costs area comparable
+    // to the most aggressive pseudo-RNG design.
+    double rsug = model_.newDesign(cfg_, 4).total().areaUm2;
+    double lfsr = model_.lfsrUnit().areaUm2;
+    EXPECT_LT(rsug / lfsr, 1.25);
+    EXPECT_LT(rsug, model_.intelDrngUnit().areaUm2);
+    EXPECT_LT(rsug, model_.mt19937Unit(4).areaUm2);
+}
+
+TEST_F(CostModelTableIV, DrngPowerComparisonHolds)
+{
+    // Sec. II-C: the RSU-G consumes ~13% of the Intel DRNG's power.
+    auto prev =
+        model_.previousDesign(RsuConfig::previousDesign()).total();
+    EXPECT_NEAR(prev.powerMw / model_.intelDrngUnit().powerMw, 0.13,
+                0.01);
+}
+
+TEST_F(CostModelTableIV, EntropyRate)
+{
+    // 2.89 bits of entropy per 1 GHz label evaluation = 2.89 Gb/s.
+    EXPECT_NEAR(model_.entropyRateGbps(2.89), 2.89, 1e-9);
+    EXPECT_NEAR(model_.entropyRateGbps(2.0, 5e8), 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------- Table II
+
+class PerfModelTableII : public ::testing::Test
+{
+  protected:
+    PerfModel model_;
+
+    static StereoWorkload
+    sd(int labels)
+    {
+        return {320, 320, labels};
+    }
+
+    static StereoWorkload
+    hd(int labels)
+    {
+        return {1920, 1080, labels};
+    }
+};
+
+TEST_F(PerfModelTableII, GpuFloatSdRowsExact)
+{
+    // The SD rows are calibration anchors: reproduce to 3 decimals.
+    EXPECT_NEAR(model_.gpuFloatSeconds(sd(10)), 0.078, 0.001);
+    EXPECT_NEAR(model_.gpuFloatSeconds(sd(64)), 0.401, 0.002);
+}
+
+TEST_F(PerfModelTableII, GpuFloatHdRowsWithinModelError)
+{
+    // The HD rows follow from the efficiency curve (within ~15%).
+    EXPECT_NEAR(model_.gpuFloatSeconds(hd(10)), 0.894,
+                0.894 * 0.15);
+    EXPECT_NEAR(model_.gpuFloatSeconds(hd(64)), 6.522,
+                6.522 * 0.15);
+}
+
+TEST_F(PerfModelTableII, RsuAugmentedRows)
+{
+    EXPECT_NEAR(model_.rsuAugmentedSeconds(sd(10)), 0.025, 0.001);
+    EXPECT_NEAR(model_.rsuAugmentedSeconds(sd(64)), 0.071, 0.002);
+    EXPECT_NEAR(model_.rsuAugmentedSeconds(hd(10)), 0.220,
+                0.220 * 0.20);
+    EXPECT_NEAR(model_.rsuAugmentedSeconds(hd(64)), 1.067,
+                1.067 * 0.15);
+}
+
+TEST_F(PerfModelTableII, SpeedupShape)
+{
+    // The load-bearing shape: speedups grow with label count and
+    // with resolution, in the published 2.8-6.2x band.
+    double s_sd10 = model_.speedupFloat(sd(10));
+    double s_sd64 = model_.speedupFloat(sd(64));
+    double s_hd10 = model_.speedupFloat(hd(10));
+    double s_hd64 = model_.speedupFloat(hd(64));
+
+    EXPECT_GT(s_sd64, s_sd10);
+    EXPECT_GT(s_hd64, s_hd10);
+    EXPECT_GT(s_hd10, s_sd10);
+    for (double s : {s_sd10, s_sd64, s_hd10, s_hd64}) {
+        EXPECT_GT(s, 2.5);
+        EXPECT_LT(s, 7.5);
+    }
+}
+
+TEST_F(PerfModelTableII, Int8SpeedupSlightlyLower)
+{
+    // GPU int8 is faster than GPU float, so the RSU speedup over it
+    // is smaller — matching the Speedup_int8 < Speedup_flt rows.
+    for (auto w : {sd(10), sd(64), hd(10), hd(64)}) {
+        EXPECT_LT(model_.speedupInt8(w), model_.speedupFloat(w));
+        EXPECT_GT(model_.speedupInt8(w), 2.0);
+    }
+}
+
+TEST_F(PerfModelTableII, DiscreteAcceleratorBecomesMemoryBound)
+{
+    // With 336 units the small-label workload hits the bandwidth
+    // wall: adding labels then costs little extra time.
+    double t10 = model_.discreteAcceleratorSeconds(hd(10));
+    double t64 = model_.discreteAcceleratorSeconds(hd(64));
+    EXPECT_LT(t64 / t10, 64.0 / 10.0);
+    // And it is far faster than the augmented GPU.
+    EXPECT_LT(t64, model_.rsuAugmentedSeconds(hd(64)));
+}
+
+TEST_F(PerfModelTableII, UnitCountExposed)
+{
+    EXPECT_GE(model_.augmentingUnits(), 4u);
+    EXPECT_LE(model_.augmentingUnits(), 64u);
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * End-to-end integration tests reproducing the paper's headline
+ * quality claims on reduced-size scenes: the previous RSU-G collapses
+ * on stereo vision while the new design matches the software-only
+ * baseline on all three applications, pseudo-RNG baselines track
+ * software, and the whole stack is deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/motion.hh"
+#include "apps/segmentation.hh"
+#include "apps/stereo.hh"
+#include "core/sampler_cdf.hh"
+#include "core/sampler_rsu.hh"
+#include "core/sampler_software.hh"
+#include "img/synthetic.hh"
+#include "rng/lfsr.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::apps;
+using namespace retsim::core;
+
+img::StereoScene
+testStereo()
+{
+    img::StereoSceneSpec spec;
+    spec.name = "itest";
+    spec.width = 72;
+    spec.height = 56;
+    spec.numLabels = 20;
+    spec.numObjects = 5;
+    return img::makeStereoScene(spec, 0xabc);
+}
+
+// The paper's Fig. 3 / Fig. 9a story, miniaturized.
+TEST(EndToEnd, StereoQualityOrdering)
+{
+    auto scene = testStereo();
+    auto solver = defaultStereoSolver(100, 11);
+
+    SoftwareSampler sw;
+    RsuSampler prev(RsuConfig::previousDesign());
+    RsuSampler next(RsuConfig::newDesign());
+
+    double bp_sw = runStereo(scene, sw, solver).badPixelPercent;
+    double bp_prev = runStereo(scene, prev, solver).badPixelPercent;
+    double bp_new = runStereo(scene, next, solver).badPixelPercent;
+
+    // Previous design: catastrophic (paper: > 90% on the full-size
+    // scenes; this miniature scene with few labels is slightly more
+    // forgiving).
+    EXPECT_GT(bp_prev, 60.0);
+    // New design: comparable to software (paper: within ~3% BP at
+    // paper scale; the miniature run is noisier).
+    EXPECT_LT(std::abs(bp_new - bp_sw), 9.0);
+    EXPECT_LT(bp_new, 35.0);
+}
+
+TEST(EndToEnd, MotionQualityParity)
+{
+    img::MotionSceneSpec spec;
+    spec.width = 56;
+    spec.height = 44;
+    spec.windowRadius = 2;
+    auto scene = img::makeMotionScene(spec, 0xdef);
+    auto solver = defaultMotionSolver(60, 13);
+
+    SoftwareSampler sw;
+    RsuSampler next(RsuConfig::newDesign());
+    double epe_sw = runMotion(scene, sw, solver).endPointError;
+    double epe_new = runMotion(scene, next, solver).endPointError;
+
+    EXPECT_LT(epe_sw, 0.9);
+    EXPECT_LT(std::abs(epe_new - epe_sw), 0.35);
+}
+
+TEST(EndToEnd, SegmentationQualityParity)
+{
+    img::SegmentationSceneSpec spec;
+    spec.numSegments = 4;
+    auto scene = img::makeSegmentationScene(spec, 0x123);
+    auto solver = defaultSegmentationSolver(30, 17);
+
+    SoftwareSampler sw;
+    RsuSampler next(RsuConfig::newDesign());
+    double voi_sw = runSegmentation(scene, sw, solver).voi;
+    double voi_new = runSegmentation(scene, next, solver).voi;
+
+    EXPECT_LT(voi_sw, 0.7);
+    EXPECT_LT(std::abs(voi_new - voi_sw), 0.3);
+}
+
+// Decay-rate scaling and probability cut-off are both necessary
+// (the Fig. 5a ablation, miniaturized).
+TEST(EndToEnd, ScalingAloneIsInsufficient)
+{
+    auto scene = testStereo();
+    auto solver = defaultStereoSolver(100, 19);
+
+    RsuConfig scaled = RsuConfig::newDesign();
+    scaled.probabilityCutoff = false;
+    scaled.lambdaQuant = LambdaQuant::Integer;
+    RsuSampler scaled_only(scaled);
+    RsuSampler full(RsuConfig::newDesign());
+
+    double bp_scaled =
+        runStereo(scene, scaled_only, solver).badPixelPercent;
+    double bp_full = runStereo(scene, full, solver).badPixelPercent;
+    EXPECT_GT(bp_scaled, bp_full + 15.0);
+}
+
+TEST(EndToEnd, Pow2ApproximationCostsNoQuality)
+{
+    auto scene = testStereo();
+    auto solver = defaultStereoSolver(100, 23);
+
+    RsuConfig int_cfg = RsuConfig::newDesign();
+    int_cfg.lambdaQuant = LambdaQuant::Integer;
+    RsuSampler int_lambda(int_cfg);
+    RsuSampler pow2(RsuConfig::newDesign());
+
+    double bp_int = runStereo(scene, int_lambda, solver).badPixelPercent;
+    double bp_pow2 = runStereo(scene, pow2, solver).badPixelPercent;
+    EXPECT_LT(std::abs(bp_pow2 - bp_int), 5.0);
+}
+
+// Pseudo-RNG CDF baselines (Table IV quality claim: LFSR matches
+// software/RSU-G on these benchmarks).
+TEST(EndToEnd, LfsrCdfBaselineMatchesSoftware)
+{
+    auto scene = testStereo();
+    auto solver = defaultStereoSolver(100, 29);
+
+    SoftwareSampler sw;
+    CdfLutSampler lfsr(
+        std::make_unique<rng::Lfsr>(rng::Lfsr::makeLfsr19(31)), 64);
+
+    double bp_sw = runStereo(scene, sw, solver).badPixelPercent;
+    double bp_lfsr = runStereo(scene, lfsr, solver).badPixelPercent;
+    EXPECT_LT(std::abs(bp_lfsr - bp_sw), 6.0);
+}
+
+TEST(EndToEnd, FullStackDeterminism)
+{
+    auto scene = testStereo();
+    auto solver = defaultStereoSolver(25, 31);
+    RsuSampler a(RsuConfig::newDesign());
+    RsuSampler b(RsuConfig::newDesign());
+    auto ra = runStereo(scene, a, solver);
+    auto rb = runStereo(scene, b, solver);
+    EXPECT_EQ(ra.disparity.data(), rb.disparity.data());
+    EXPECT_DOUBLE_EQ(ra.badPixelPercent, rb.badPixelPercent);
+}
+
+// Higher Energy_bits regime check (Sec. III-C.1): 8 bits match
+// float; 4 bits degrade.
+TEST(EndToEnd, EnergyBitsPrecisionCliff)
+{
+    auto scene = testStereo();
+    auto solver = defaultStereoSolver(100, 37);
+
+    RsuConfig cfg8 = RsuConfig::newDesign();
+    cfg8.lambdaQuant = LambdaQuant::Float;
+    cfg8.timeQuant = TimeQuant::Float; // isolate the energy stage
+    RsuConfig cfg4 = cfg8;
+    cfg4.energyBits = 4;
+    RsuConfig cfgf = cfg8;
+    cfgf.floatEnergy = true;
+
+    RsuSampler s8(cfg8), s4(cfg4), sf(cfgf);
+    double bp8 = runStereo(scene, s8, solver).badPixelPercent;
+    double bp4 = runStereo(scene, s4, solver).badPixelPercent;
+    double bpf = runStereo(scene, sf, solver).badPixelPercent;
+
+    EXPECT_LT(std::abs(bp8 - bpf), 5.0);  // 8-bit ~ float
+    EXPECT_GT(bp4, bp8 + 8.0);            // 4-bit degrades
+}
+
+} // namespace

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the cycle-level RSU-G pipeline model: steady-state
+ * throughput of one label evaluation per cycle (both designs), the
+ * latency increase of the FIFO-decoupled new pipeline, FIFO occupancy
+ * bounds, zero-stall temperature updates with double-buffered
+ * boundary registers versus the previous design's LUT-rewrite stalls,
+ * and statistical agreement with the functional sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rsu_pipeline.hh"
+#include "core/sampler_rsu.hh"
+#include "rng/rng.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::core;
+
+std::vector<PixelRequest>
+uniformRequests(int count, int labels, float base = 4.0f)
+{
+    std::vector<PixelRequest> reqs(count);
+    for (int v = 0; v < count; ++v) {
+        reqs[v].energies.resize(labels);
+        for (int l = 0; l < labels; ++l)
+            reqs[v].energies[l] =
+                base + float((l * 37 + v * 11) % 40);
+    }
+    return reqs;
+}
+
+PipelineConfig
+newDesignPipeline()
+{
+    PipelineConfig cfg;
+    cfg.rsu = RsuConfig::newDesign();
+    cfg.newDesign = true;
+    return cfg;
+}
+
+PipelineConfig
+prevDesignPipeline()
+{
+    PipelineConfig cfg;
+    cfg.rsu = RsuConfig::previousDesign();
+    cfg.newDesign = false;
+    return cfg;
+}
+
+// ------------------------------------------------------------ structure
+
+TEST(Pipeline, WindowCyclesFromTimeBits)
+{
+    // Time_bits = 5 -> 32 bins / 8 bins-per-cycle = 4-cycle window,
+    // hence 4 RET circuit replicas (Sec. IV-B.5).
+    RsuPipeline p(newDesignPipeline(), 8.0);
+    EXPECT_EQ(p.windowCycles(), 4u);
+    EXPECT_EQ(p.circuitReplicas(), 4u);
+
+    PipelineConfig cfg = newDesignPipeline();
+    cfg.rsu.timeBits = 8;
+    RsuPipeline p8(cfg, 8.0);
+    EXPECT_EQ(p8.windowCycles(), 32u); // 256 / 8
+}
+
+TEST(Pipeline, RejectsFloatEscapes)
+{
+    PipelineConfig cfg = newDesignPipeline();
+    cfg.rsu.timeQuant = TimeQuant::Float;
+    EXPECT_DEATH(RsuPipeline(cfg, 8.0), "hardware");
+}
+
+// ----------------------------------------------------------- throughput
+
+TEST(Pipeline, NewDesignSustainsOneLabelPerCycle)
+{
+    const int kPixels = 60, kLabels = 16;
+    RsuPipeline p(newDesignPipeline(), 8.0);
+    rng::Xoshiro256 gen(3);
+    auto result = p.run(uniformRequests(kPixels, kLabels), gen);
+
+    EXPECT_EQ(result.stats.labelsEvaluated,
+              std::uint64_t(kPixels) * kLabels);
+    // Total cycles = labels + pipeline fill/drain overhead; at 60
+    // pixels the amortized throughput must be within 10% of 1.
+    EXPECT_GT(result.stats.throughputLabelsPerCycle, 0.9);
+    EXPECT_LE(result.stats.throughputLabelsPerCycle, 1.0);
+    EXPECT_EQ(result.stats.stallCycles, 0u);
+}
+
+TEST(Pipeline, PreviousDesignSameThroughput)
+{
+    const int kPixels = 60, kLabels = 16;
+    RsuPipeline p(prevDesignPipeline(), 8.0);
+    rng::Xoshiro256 gen(5);
+    auto result = p.run(uniformRequests(kPixels, kLabels), gen);
+    EXPECT_GT(result.stats.throughputLabelsPerCycle, 0.9);
+}
+
+TEST(Pipeline, NewDesignHasHigherLatencySameThroughput)
+{
+    // Sec. IV-B: the FIFO decoupling raises per-pixel latency (the
+    // back-end waits for E_min over all M labels) but not throughput.
+    const int kPixels = 40, kLabels = 12;
+    rng::Xoshiro256 g1(7), g2(7);
+    auto new_res = RsuPipeline(newDesignPipeline(), 8.0)
+                       .run(uniformRequests(kPixels, kLabels), g1);
+    auto prev_res = RsuPipeline(prevDesignPipeline(), 8.0)
+                        .run(uniformRequests(kPixels, kLabels), g2);
+
+    EXPECT_GT(new_res.stats.avgPixelLatency,
+              prev_res.stats.avgPixelLatency + kLabels - 4);
+    EXPECT_NEAR(new_res.stats.throughputLabelsPerCycle,
+                prev_res.stats.throughputLabelsPerCycle, 0.05);
+}
+
+TEST(Pipeline, PrevLatencyNearPaperFormula)
+{
+    // The previous design's single-pixel latency is 7 + (M - 1)
+    // (Sec. II-C); the model's constants land within a few cycles.
+    const int kLabels = 10;
+    rng::Xoshiro256 gen(9);
+    auto res = RsuPipeline(prevDesignPipeline(), 8.0)
+                   .run(uniformRequests(1, kLabels), gen);
+    EXPECT_NEAR(double(res.stats.firstPixelLatency),
+                7.0 + (kLabels - 1), 3.0);
+}
+
+TEST(Pipeline, FifoOccupancyBoundedByTwoVariables)
+{
+    // At steady state energies of (at most) two variables reside in
+    // the FIFO (Sec. IV-B.2).
+    const int kPixels = 30, kLabels = 14;
+    rng::Xoshiro256 gen(11);
+    auto res = RsuPipeline(newDesignPipeline(), 8.0)
+                   .run(uniformRequests(kPixels, kLabels), gen);
+    EXPECT_LE(res.stats.maxFifoOccupancy, std::size_t(2 * kLabels));
+    EXPECT_GE(res.stats.maxFifoOccupancy, std::size_t(kLabels));
+}
+
+// ---------------------------------------------------- temperature update
+
+TEST(Pipeline, DoubleBufferedTemperatureUpdateIsStallFree)
+{
+    const int kPixels = 30, kLabels = 12;
+    auto reqs = uniformRequests(kPixels, kLabels);
+    reqs[10].newTemperature = 6.0;
+    reqs[20].newTemperature = 4.5;
+
+    rng::Xoshiro256 gen(13);
+    auto res = RsuPipeline(newDesignPipeline(), 8.0).run(reqs, gen);
+    EXPECT_EQ(res.stats.stallCycles, 0u);
+    EXPECT_EQ(res.stats.temperatureUpdates, 2u);
+}
+
+TEST(Pipeline, UnbufferedComparatorStallsFourCycles)
+{
+    PipelineConfig cfg = newDesignPipeline();
+    cfg.doubleBuffered = false;
+    auto reqs = uniformRequests(20, 12);
+    reqs[10].newTemperature = 6.0;
+
+    rng::Xoshiro256 gen(15);
+    auto res = RsuPipeline(cfg, 8.0).run(reqs, gen);
+    // 32 bits over an 8-bit interface = 4 stall cycles (Sec. IV-B.3).
+    EXPECT_EQ(res.stats.stallCycles, 4u);
+}
+
+TEST(Pipeline, UnbufferedStallOncePerUpdateEvenWithTinyVariables)
+{
+    // Regression: with few labels many variables are in flight
+    // between the update request and its application; the rebuild
+    // must happen exactly once, not oscillate between temperatures.
+    PipelineConfig cfg = newDesignPipeline();
+    cfg.doubleBuffered = false;
+    auto reqs = uniformRequests(60, 3);
+    reqs[20].newTemperature = 6.0;
+    reqs[40].newTemperature = 4.0;
+
+    rng::Xoshiro256 gen(16);
+    auto res = RsuPipeline(cfg, 8.0).run(reqs, gen);
+    EXPECT_EQ(res.stats.temperatureUpdates, 2u);
+    EXPECT_EQ(res.stats.stallCycles, 8u); // 4 cycles per update
+}
+
+TEST(Pipeline, PreviousDesignLutRewriteStalls128Cycles)
+{
+    auto reqs = uniformRequests(20, 12);
+    reqs[10].newTemperature = 6.0;
+
+    rng::Xoshiro256 gen(17);
+    auto res = RsuPipeline(prevDesignPipeline(), 8.0).run(reqs, gen);
+    // 1,024-bit LUT over the 8-bit interface = 128 stall cycles.
+    EXPECT_EQ(res.stats.stallCycles, 128u);
+}
+
+TEST(Pipeline, TemperatureUpdateAffectsSubsequentChoices)
+{
+    // A freezing update must make later pixels pick the minimum
+    // energy essentially always.
+    const int kLabels = 8;
+    std::vector<PixelRequest> reqs(40);
+    for (int v = 0; v < 40; ++v) {
+        reqs[v].energies.assign(kLabels, 60.0f);
+        reqs[v].energies[3] = 0.0f;
+    }
+    reqs[20].newTemperature = 0.8; // from hot 64.0 to freezing
+    rng::Xoshiro256 gen(19);
+    auto res = RsuPipeline(newDesignPipeline(), 64.0).run(reqs, gen);
+
+    int late_hits = 0;
+    for (int v = 25; v < 40; ++v)
+        late_hits += res.labels[v] == 3;
+    EXPECT_GE(late_hits, 14);
+    int early_hits = 0;
+    for (int v = 0; v < 15; ++v)
+        early_hits += res.labels[v] == 3;
+    EXPECT_LT(early_hits, 10); // hot phase stays exploratory
+}
+
+// ----------------------------------------------------- sampling behavior
+
+TEST(Pipeline, MatchesFunctionalSamplerStatistically)
+{
+    // The pipeline and the functional RsuSampler implement the same
+    // math; their label marginals must agree.
+    const int kTrials = 8000;
+    std::vector<float> energies = {2.0f, 10.0f, 6.0f};
+    double t = 6.0;
+
+    std::vector<PixelRequest> reqs(kTrials);
+    for (auto &r : reqs)
+        r.energies = energies;
+    rng::Xoshiro256 g1(21);
+    auto pipe_res = RsuPipeline(newDesignPipeline(), t).run(reqs, g1);
+
+    RsuSampler functional(RsuConfig::newDesign());
+    rng::Xoshiro256 g2(22);
+    std::vector<int> pipe_counts(3, 0), func_counts(3, 0);
+    for (int i = 0; i < kTrials; ++i) {
+        pipe_counts[pipe_res.labels[i]]++;
+        func_counts[functional.sample(energies, t, 0, g2)]++;
+    }
+    for (int l = 0; l < 3; ++l) {
+        EXPECT_NEAR(pipe_counts[l] / double(kTrials),
+                    func_counts[l] / double(kTrials), 0.03)
+            << "label " << l;
+    }
+}
+
+TEST(Pipeline, RetCircuitHealthReported)
+{
+    const int kPixels = 400, kLabels = 8;
+    rng::Xoshiro256 gen(23);
+    auto res = RsuPipeline(newDesignPipeline(), 8.0)
+                   .run(uniformRequests(kPixels, kLabels), gen);
+    EXPECT_GT(res.stats.retSamples, 0u);
+    // Reuse safety: stale photons below ~0.4% + margin.
+    EXPECT_LT(double(res.stats.retBleedThrough),
+              0.01 * double(res.stats.retSamples) + 5.0);
+}
+
+TEST(Pipeline, NoSampleFallsBackToCurrentLabel)
+{
+    PipelineConfig cfg = newDesignPipeline();
+    cfg.rsu.truncation = 0.97; // nearly everything truncates
+    std::vector<PixelRequest> reqs(200);
+    for (auto &r : reqs) {
+        r.energies = {0.0f, 250.0f};
+        r.currentLabel = 1;
+    }
+    rng::Xoshiro256 gen(25);
+    auto res = RsuPipeline(cfg, 1.0).run(reqs, gen);
+    int kept = 0;
+    for (int l : res.labels)
+        kept += l == 1;
+    EXPECT_GT(kept, 20);
+}
+
+TEST(Pipeline, DeterministicGivenSeed)
+{
+    auto reqs = uniformRequests(30, 10);
+    rng::Xoshiro256 g1(31), g2(31);
+    auto a = RsuPipeline(newDesignPipeline(), 8.0).run(reqs, g1);
+    auto b = RsuPipeline(newDesignPipeline(), 8.0).run(reqs, g2);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+} // namespace

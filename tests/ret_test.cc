@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for the RET device substrate: truncation arithmetic and
+ * the replica-count law of Sec. IV-B.6, RET network TTF statistics
+ * and residual-excitation state, the SPAD window, and the full
+ * RET circuit of Fig. 11 (distribution shape, waveguide rotation,
+ * reuse safety, bleed-through scaling with truncation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ret/qdled.hh"
+#include "ret/ret_circuit.hh"
+#include "ret/ret_network.hh"
+#include "ret/spad.hh"
+#include "ret/truncation.hh"
+#include "rng/rng.hh"
+#include "util/stats.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::ret;
+
+// ------------------------------------------------------------ truncation
+
+TEST(Truncation, Lambda0RoundTrip)
+{
+    for (double trunc : {0.004, 0.1, 0.5, 0.9}) {
+        for (unsigned t_max : {8u, 32u, 256u}) {
+            double l0 = lambda0FromTruncation(trunc, t_max);
+            EXPECT_GT(l0, 0.0);
+            EXPECT_NEAR(truncationFromLambda0(l0, t_max), trunc, 1e-12);
+        }
+    }
+}
+
+TEST(Truncation, PaperDesignPoints)
+{
+    // Time_bits = 5 (32 bins).  Truncation 0.5 -> lambda0 =
+    // ln(2)/32; the previous design's 0.004 -> much larger lambda0.
+    double l0_new = lambda0FromTruncation(0.5, 32);
+    double l0_prev = lambda0FromTruncation(0.004, 32);
+    EXPECT_NEAR(l0_new, std::log(2.0) / 32.0, 1e-12);
+    EXPECT_GT(l0_prev, l0_new * 7.0); // -ln(0.004)/ln(2) ~ 7.97
+}
+
+TEST(Truncation, ResidualExcitationPowers)
+{
+    EXPECT_NEAR(residualExcitation(0.5, 1), 0.5, 1e-12);
+    EXPECT_NEAR(residualExcitation(0.5, 8), 1.0 / 256.0, 1e-12);
+    EXPECT_NEAR(residualExcitation(0.1, 2), 0.01, 1e-12);
+}
+
+TEST(Truncation, ReplicaLawMatchesPaper)
+{
+    // Sec. IV-B.6: Truncation = 0.5 needs 8 replicas for 99.6%.
+    EXPECT_EQ(replicasForReuseSafety(0.5), 8u);
+    // The previous design (0.004) satisfies reuse safety without
+    // rotation.
+    EXPECT_EQ(replicasForReuseSafety(0.004), 1u);
+    // Monotone: higher truncation can never need fewer replicas.
+    unsigned prev = 1;
+    for (double t : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9}) {
+        unsigned r = replicasForReuseSafety(t);
+        EXPECT_GE(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Truncation, ReplicaLawDefinition)
+{
+    // The chosen replica count is the smallest satisfying the bound.
+    for (double t : {0.2, 0.5, 0.8}) {
+        unsigned r = replicasForReuseSafety(t);
+        EXPECT_LE(residualExcitation(t, r), 1.0 - kReuseSafetyTarget);
+        if (r > 1) {
+            EXPECT_GT(residualExcitation(t, r - 1),
+                      1.0 - kReuseSafetyTarget);
+        }
+    }
+}
+
+// ------------------------------------------------------------ RetNetwork
+
+TEST(RetNetwork, TtfIsExponentialWithScaledRate)
+{
+    rng::Xoshiro256 gen(5);
+    RetNetwork net(4.0); // 4x concentration
+    const double base_rate = 0.05;
+    util::RunningStats s;
+    for (int i = 0; i < 40000; ++i) {
+        double now = i * 1e6; // windows far apart: no carryover
+        net.excite(now, base_rate, 1.0, gen);
+        auto e = net.nextEmission(now);
+        s.add(e.time - now);
+    }
+    // rate = base * concentration = 0.2 -> mean 5.
+    EXPECT_NEAR(s.mean(), 5.0, 0.15);
+}
+
+TEST(RetNetwork, IntensityScalesRate)
+{
+    rng::Xoshiro256 gen(6);
+    RetNetwork net(1.0);
+    util::RunningStats s;
+    for (int i = 0; i < 40000; ++i) {
+        double now = i * 1e6;
+        net.excite(now, 0.1, 8.0, gen); // rate 0.8 -> mean 1.25
+        s.add(net.nextEmission(now).time - now);
+    }
+    EXPECT_NEAR(s.mean(), 1.25, 0.05);
+}
+
+TEST(RetNetwork, HotStatePersistsAcrossWindows)
+{
+    // Force a very slow emission and check the network stays hot.
+    rng::CountingRng gen({0}); // u ~ 0 -> huge TTF
+    RetNetwork net(1.0);
+    net.excite(0.0, 1e-6, 1.0, gen);
+    EXPECT_TRUE(net.hotBefore(100.0));
+    auto e = net.nextEmission(50.0);
+    EXPECT_GT(e.time, 50.0);
+    EXPECT_DOUBLE_EQ(e.birth, 0.0);
+}
+
+TEST(RetNetwork, MissedPhotonIsDropped)
+{
+    // Emission strictly before the observation start is lost.
+    rng::CountingRng gen({~std::uint64_t{0}}); // u ~ 1 -> tiny TTF
+    RetNetwork net(1.0);
+    net.excite(0.0, 10.0, 1.0, gen);
+    auto e = net.nextEmission(1000.0);
+    EXPECT_TRUE(std::isinf(e.time));
+    EXPECT_FALSE(net.hotBefore(2000.0));
+}
+
+TEST(RetNetwork, ResetClearsState)
+{
+    rng::CountingRng gen({0});
+    RetNetwork net(1.0);
+    net.excite(0.0, 1e-6, 1.0, gen);
+    net.reset();
+    EXPECT_FALSE(net.hotBefore(1e9));
+    EXPECT_EQ(net.totalExcitations(), 1u);
+}
+
+// ----------------------------------------------------------------- Spad
+
+TEST(Spad, DetectsWithinWindowOnly)
+{
+    Spad spad;
+    rng::Xoshiro256 gen(7);
+    EXPECT_FALSE(spad.detect(100.0, 32, 99.0, gen).has_value());
+    EXPECT_EQ(spad.detect(100.0, 32, 100.0, gen).value(), 1u);
+    EXPECT_EQ(spad.detect(100.0, 32, 100.9, gen).value(), 1u);
+    EXPECT_EQ(spad.detect(100.0, 32, 131.9, gen).value(), 32u);
+    EXPECT_FALSE(spad.detect(100.0, 32, 132.0, gen).has_value());
+    EXPECT_FALSE(
+        spad.detect(100.0, 32, std::numeric_limits<double>::infinity(),
+                    gen)
+            .has_value());
+}
+
+TEST(Spad, DarkCountsAreRareAtPaperRates)
+{
+    // ~kHz dark counts vs 1 GHz clock: ~1e-6 per bin — negligible,
+    // as the paper asserts (Sec. II-B).
+    Spad spad(1e-6);
+    rng::Xoshiro256 gen(8);
+    int fires = 0;
+    const int kWindows = 20000;
+    for (int i = 0; i < kWindows; ++i) {
+        auto hit = spad.detect(
+            i * 64.0, 32,
+            std::numeric_limits<double>::infinity(), gen);
+        fires += hit.has_value();
+    }
+    EXPECT_LT(fires, 10); // expected ~0.64
+}
+
+TEST(Qdled, IntensityLevels)
+{
+    Qdled led(16);
+    EXPECT_EQ(led.levels(), 16u);
+    EXPECT_DOUBLE_EQ(led.intensity(0), 1.0);
+    EXPECT_DOUBLE_EQ(led.intensity(15), 16.0);
+}
+
+// ------------------------------------------------------------ RetCircuit
+
+class RetCircuitTest : public ::testing::Test
+{
+  protected:
+    RetCircuitConfig cfg_ = [] {
+        RetCircuitConfig c;
+        c.numConcentrations = 4;
+        c.numReplicaSets = 8;
+        c.timeBits = 5;
+        c.truncation = 0.5;
+        return c;
+    }();
+};
+
+TEST_F(RetCircuitTest, TruncationFractionMatchesConfig)
+{
+    // Sampling at lambda_0 (index 0) must truncate with probability
+    // ~= the configured truncation.
+    RetCircuit circuit(cfg_);
+    rng::Xoshiro256 gen(9);
+    int truncated = 0;
+    const int kSamples = 40000;
+    for (int i = 0; i < kSamples; ++i)
+        truncated += !circuit.sample(0, gen).fired;
+    EXPECT_NEAR(truncated / double(kSamples), 0.5, 0.02);
+}
+
+TEST_F(RetCircuitTest, HigherConcentrationFiresFaster)
+{
+    RetCircuit circuit(cfg_);
+    rng::Xoshiro256 gen(10);
+    double mean_bin[2] = {0, 0};
+    int fired[2] = {0, 0};
+    for (int i = 0; i < 30000; ++i) {
+        for (int c : {0, 3}) { // 1x vs 8x concentration
+            auto s = circuit.sample(c, gen);
+            if (s.fired) {
+                mean_bin[c == 3] += s.bin;
+                fired[c == 3]++;
+            }
+        }
+    }
+    ASSERT_GT(fired[0], 0);
+    ASSERT_GT(fired[1], 0);
+    EXPECT_LT(mean_bin[1] / fired[1], mean_bin[0] / fired[0] * 0.5);
+}
+
+TEST_F(RetCircuitTest, ReuseSafetyMeetsTarget)
+{
+    // With 8 rotated replica sets at Truncation = 0.5 the stale-photon
+    // rate must stay below 1 - 0.996 (Sec. IV-B.6).
+    RetCircuit circuit(cfg_);
+    rng::Xoshiro256 gen(11);
+    for (int i = 0; i < 60000; ++i)
+        circuit.sample(0, gen); // slowest rate: worst case
+    EXPECT_GE(circuit.reuseSafety(), kReuseSafetyTarget - 0.001);
+    EXPECT_GT(circuit.bleedThroughSamples(), 0u); // but not zero
+}
+
+TEST_F(RetCircuitTest, FewerReplicasViolateReuseSafety)
+{
+    // Rotating only 2 sets at Truncation = 0.5 leaves ~25% residual
+    // excitation at reuse time: bleed-through becomes rampant.
+    RetCircuitConfig bad = cfg_;
+    bad.numReplicaSets = 2;
+    RetCircuit circuit(bad);
+    rng::Xoshiro256 gen(12);
+    for (int i = 0; i < 30000; ++i)
+        circuit.sample(0, gen);
+    EXPECT_LT(circuit.reuseSafety(), 0.95);
+}
+
+TEST_F(RetCircuitTest, LowTruncationNeedsNoRotation)
+{
+    // The previous design's 0.004 truncation keeps stale photons
+    // below the target even with a single replica set.
+    RetCircuitConfig prev = cfg_;
+    prev.truncation = 0.004;
+    prev.numReplicaSets = 1;
+    RetCircuit circuit(prev);
+    rng::Xoshiro256 gen(13);
+    for (int i = 0; i < 40000; ++i)
+        circuit.sample(0, gen);
+    EXPECT_GE(circuit.reuseSafety(), kReuseSafetyTarget - 0.001);
+}
+
+TEST_F(RetCircuitTest, BinDistributionIsTruncatedExponential)
+{
+    // P(bin = b | fired) for an Exp(lambda0) truncated at 32 bins.
+    RetCircuit circuit(cfg_);
+    rng::Xoshiro256 gen(14);
+    std::vector<int> counts(33, 0);
+    int fired_total = 0;
+    const int kSamples = 120000;
+    for (int i = 0; i < kSamples; ++i) {
+        auto s = circuit.sample(0, gen);
+        if (s.fired && !s.bleedThrough) {
+            counts[s.bin]++;
+            fired_total++;
+        }
+    }
+    double l0 = circuit.lambda0();
+    for (unsigned b : {1u, 8u, 16u, 24u}) {
+        double p = (std::exp(-l0 * (b - 1)) - std::exp(-l0 * b)) /
+                   (1.0 - 0.5);
+        double observed = counts[b] / double(fired_total);
+        EXPECT_NEAR(observed, p, 5 * std::sqrt(p * (1 - p) /
+                                               fired_total))
+            << "bin " << b;
+    }
+}
+
+TEST_F(RetCircuitTest, InvalidLambdaIndexRejected)
+{
+    RetCircuit circuit(cfg_);
+    rng::Xoshiro256 gen(15);
+    EXPECT_DEATH(circuit.sample(4, gen), "lambda index");
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the system-level accelerator simulator: quality
+ * equivalence with the chromatic Gibbs solver, cycle accounting
+ * against the analytic model, scaling with unit count, and the
+ * bandwidth wall.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/stereo.hh"
+#include "core/sampler_rsu.hh"
+#include "hw/accelerator.hh"
+#include "hw/system_sim.hh"
+#include "img/synthetic.hh"
+#include "metrics/stereo_metrics.hh"
+#include "mrf/checkerboard.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::hw;
+
+img::StereoScene
+smallScene()
+{
+    img::StereoSceneSpec spec;
+    spec.name = "sys";
+    spec.width = 48;
+    spec.height = 40;
+    spec.numLabels = 10;
+    spec.numObjects = 4;
+    return img::makeStereoScene(spec, 0x5e5);
+}
+
+mrf::AnnealingSchedule
+schedule(int sweeps)
+{
+    mrf::AnnealingSchedule a;
+    a.t0 = 48.0;
+    a.tEnd = 0.8;
+    a.sweeps = sweeps;
+    return a;
+}
+
+TEST(SystemSim, SolvesStereoLikeTheChromaticSolver)
+{
+    auto scene = smallScene();
+    auto problem = apps::buildStereoProblem(scene);
+
+    SystemConfig cfg;
+    cfg.units = 8;
+    SystemSimulator sim(cfg);
+    auto sys = sim.run(problem, schedule(60), 7);
+    double sys_bp =
+        metrics::badPixelPercent(sys.labels, scene.gtDisparity);
+
+    core::RsuSampler rsu(core::RsuConfig::newDesign());
+    mrf::SolverConfig sc;
+    sc.annealing = schedule(60);
+    sc.seed = 7;
+    auto ref = mrf::CheckerboardGibbsSolver(sc).run(problem, rsu);
+    double ref_bp =
+        metrics::badPixelPercent(ref, scene.gtDisparity);
+
+    // Same schedule, same sampler math, independent randomness:
+    // equal quality class.
+    EXPECT_LT(std::abs(sys_bp - ref_bp), 10.0);
+    EXPECT_LT(sys_bp, 35.0);
+}
+
+TEST(SystemSim, EvaluatesEveryLabelOfEveryPixelEverySweep)
+{
+    auto scene = smallScene();
+    auto problem = apps::buildStereoProblem(scene);
+    SystemConfig cfg;
+    cfg.units = 4;
+    auto result = SystemSimulator(cfg).run(problem, schedule(5), 3);
+    EXPECT_EQ(result.labelEvaluations,
+              std::uint64_t(5) * 48 * 40 * 10);
+}
+
+TEST(SystemSim, MoreUnitsFewerComputeCycles)
+{
+    auto scene = smallScene();
+    auto problem = apps::buildStereoProblem(scene);
+    SystemConfig a;
+    a.units = 2;
+    a.bytesPerCycle = 1e9; // memory never binds for this test
+    SystemConfig b = a;
+    b.units = 16;
+    auto ra = SystemSimulator(a).run(problem, schedule(4), 5);
+    auto rb = SystemSimulator(b).run(problem, schedule(4), 5);
+    // 8x the units: compute critical path shrinks ~8x (pipeline
+    // fill/drain overhead keeps it from being exact).
+    EXPECT_LT(rb.computeCycles, ra.computeCycles / 5);
+    EXPECT_FALSE(ra.memoryBound);
+}
+
+TEST(SystemSim, BandwidthWallDetected)
+{
+    auto scene = smallScene();
+    auto problem = apps::buildStereoProblem(scene);
+    SystemConfig cfg;
+    cfg.units = 64;          // plenty of compute
+    cfg.bytesPerCycle = 8.0; // starved memory system
+    auto result = SystemSimulator(cfg).run(problem, schedule(4), 5);
+    EXPECT_TRUE(result.memoryBound);
+    EXPECT_GT(result.memoryCycles, result.computeCycles);
+    EXPECT_EQ(result.totalCycles,
+              std::max(result.memoryCycles, result.computeCycles));
+}
+
+TEST(SystemSim, CycleCountTracksAnalyticModel)
+{
+    // Compute-bound configuration: the executed critical path must
+    // land near the analytic wave arithmetic (within pipeline
+    // fill/drain overhead).
+    auto scene = smallScene();
+    auto problem = apps::buildStereoProblem(scene);
+    SystemConfig cfg;
+    cfg.units = 8;
+    cfg.bytesPerCycle = 1e9;
+    const int sweeps = 4;
+    auto sys = SystemSimulator(cfg).run(problem, schedule(sweeps), 9);
+
+    AcceleratorConfig ac;
+    ac.units = 8;
+    AcceleratorModel model(ac);
+    FrameWorkload w{48, 40, 10, sweeps};
+    auto analytic = model.evaluate(w);
+    double predicted = static_cast<double>(
+        analytic.cyclesPerIteration * sweeps);
+    EXPECT_NEAR(static_cast<double>(sys.computeCycles), predicted,
+                predicted * 0.30);
+}
+
+TEST(SystemSim, DeterministicPerSeed)
+{
+    auto scene = smallScene();
+    auto problem = apps::buildStereoProblem(scene);
+    SystemConfig cfg;
+    cfg.units = 4;
+    auto a = SystemSimulator(cfg).run(problem, schedule(6), 11);
+    auto b = SystemSimulator(cfg).run(problem, schedule(6), 11);
+    EXPECT_EQ(a.labels.data(), b.labels.data());
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+}
+
+TEST(SystemSim, SecondsAtFrequency)
+{
+    SystemRunResult r;
+    r.totalCycles = 2'000'000;
+    EXPECT_DOUBLE_EQ(r.seconds(1e9), 0.002);
+    EXPECT_DOUBLE_EQ(r.seconds(5e8), 0.004);
+}
+
+} // namespace

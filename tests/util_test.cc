@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the util substrate: statistics accumulators,
+ * quantization helpers, text tables, CLI parsing and the thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.hh"
+#include "util/fixed_point.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+namespace {
+
+using namespace retsim::util;
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // population
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double v = std::sin(i * 0.7) * 10.0;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.99);  // bin 9
+    h.add(-1.0);  // clamps to bin 0
+    h.add(42.0);  // clamps to bin 9
+    h.add(5.0);   // bin 5
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binFraction(5), 0.2);
+}
+
+// ---------------------------------------------------------- fixed point
+
+TEST(FixedPoint, MaxUnsigned)
+{
+    EXPECT_EQ(maxUnsigned(1), 1u);
+    EXPECT_EQ(maxUnsigned(8), 255u);
+    EXPECT_EQ(maxUnsigned(16), 65535u);
+}
+
+TEST(FixedPoint, QuantizeUnsignedRoundsAndSaturates)
+{
+    EXPECT_EQ(quantizeUnsigned(-3.0, 8), 0u);
+    EXPECT_EQ(quantizeUnsigned(0.4, 8), 0u);
+    EXPECT_EQ(quantizeUnsigned(0.6, 8), 1u);
+    EXPECT_EQ(quantizeUnsigned(254.6, 8), 255u);
+    EXPECT_EQ(quantizeUnsigned(300.0, 8), 255u);
+    EXPECT_EQ(quantizeUnsigned(1e12, 8), 255u);
+}
+
+TEST(FixedPoint, TruncateToInt)
+{
+    EXPECT_EQ(truncateToInt(-0.5), 0u);
+    EXPECT_EQ(truncateToInt(0.999), 0u);
+    EXPECT_EQ(truncateToInt(1.0), 1u);
+    EXPECT_EQ(truncateToInt(15.99), 15u);
+}
+
+TEST(FixedPoint, FloorPow2)
+{
+    EXPECT_EQ(floorPow2(0), 0u);
+    EXPECT_EQ(floorPow2(1), 1u);
+    EXPECT_EQ(floorPow2(2), 2u);
+    EXPECT_EQ(floorPow2(3), 2u);
+    EXPECT_EQ(floorPow2(7), 4u);
+    EXPECT_EQ(floorPow2(8), 8u);
+    EXPECT_EQ(floorPow2(15), 8u);
+    EXPECT_EQ(floorPow2(16), 16u);
+}
+
+TEST(FixedPoint, Pow2Helpers)
+{
+    EXPECT_TRUE(isPow2OrZero(0));
+    EXPECT_TRUE(isPow2OrZero(8));
+    EXPECT_FALSE(isPow2OrZero(12));
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(8), 3u);
+}
+
+TEST(FixedPoint, SatSub)
+{
+    EXPECT_EQ(satSub(5, 3), 2u);
+    EXPECT_EQ(satSub(3, 5), 0u);
+    EXPECT_EQ(satSub(0, 0), 0u);
+}
+
+// --------------------------------------------------------------- tables
+
+TEST(TextTable, AlignmentAndAccess)
+{
+    TextTable t({"name", "value"});
+    t.newRow().cell("alpha").cell(1.5, 2);
+    t.newRow().cell("b").cell(std::int64_t{42});
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.at(0, 1), "1.50");
+    EXPECT_EQ(t.at(1, 1), "42");
+
+    std::ostringstream oss;
+    t.print(oss, "demo");
+    std::string out = oss.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.newRow().cell("x").cell("y");
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\nx,y\n");
+}
+
+TEST(FormatFixed, Precision)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+// ------------------------------------------------------------------ cli
+
+TEST(CliArgs, ParsesOptionsAndPositionals)
+{
+    const char *argv[] = {"prog", "--sweeps=100", "--verbose",
+                          "input.pgm", "--ratio=0.5"};
+    CliArgs args(5, argv);
+    EXPECT_EQ(args.getInt("sweeps", 1), 100);
+    EXPECT_TRUE(args.getBool("verbose", false));
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio", 0.0), 0.5);
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "input.pgm");
+    EXPECT_EQ(args.programName(), "prog");
+}
+
+TEST(CliArgs, DefaultsWhenMissing)
+{
+    const char *argv[] = {"prog"};
+    CliArgs args(1, argv);
+    EXPECT_EQ(args.getInt("sweeps", 7), 7);
+    EXPECT_EQ(args.getString("name", "x"), "x");
+    EXPECT_FALSE(args.has("anything"));
+}
+
+// ---------------------------------------------------------- thread pool
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallelFor(100, [&](std::size_t i) { hits[i]++; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndOneIterations)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallelFor(0, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 0);
+    pool.parallelFor(1, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls)
+{
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    pool.parallelFor(50, [&](std::size_t i) { sum += (long)i; });
+    pool.parallelFor(50, [&](std::size_t i) { sum += (long)i; });
+    EXPECT_EQ(sum.load(), 2 * (49 * 50 / 2));
+}
+
+} // namespace
