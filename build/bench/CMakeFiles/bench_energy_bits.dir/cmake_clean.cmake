@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_bits.dir/bench_energy_bits.cc.o"
+  "CMakeFiles/bench_energy_bits.dir/bench_energy_bits.cc.o.d"
+  "bench_energy_bits"
+  "bench_energy_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pipeline.cc" "bench/CMakeFiles/bench_pipeline.dir/bench_pipeline.cc.o" "gcc" "bench/CMakeFiles/bench_pipeline.dir/bench_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/retsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/retsim_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/retsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ret/CMakeFiles/retsim_ret.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrf/CMakeFiles/retsim_mrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/retsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/retsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/retsim_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

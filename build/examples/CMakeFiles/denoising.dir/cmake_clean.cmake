@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denoising.dir/denoising.cpp.o"
+  "CMakeFiles/denoising.dir/denoising.cpp.o.d"
+  "denoising"
+  "denoising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denoising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for denoising.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_pyramid_demo.dir/motion_pyramid_demo.cpp.o"
+  "CMakeFiles/motion_pyramid_demo.dir/motion_pyramid_demo.cpp.o.d"
+  "motion_pyramid_demo"
+  "motion_pyramid_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_pyramid_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stereo_vision.dir/stereo_vision.cpp.o"
+  "CMakeFiles/stereo_vision.dir/stereo_vision.cpp.o.d"
+  "stereo_vision"
+  "stereo_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stereo_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

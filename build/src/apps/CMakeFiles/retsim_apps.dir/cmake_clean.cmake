@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retsim_apps.dir/denoising.cc.o"
+  "CMakeFiles/retsim_apps.dir/denoising.cc.o.d"
+  "CMakeFiles/retsim_apps.dir/motion.cc.o"
+  "CMakeFiles/retsim_apps.dir/motion.cc.o.d"
+  "CMakeFiles/retsim_apps.dir/motion_pyramid.cc.o"
+  "CMakeFiles/retsim_apps.dir/motion_pyramid.cc.o.d"
+  "CMakeFiles/retsim_apps.dir/segmentation.cc.o"
+  "CMakeFiles/retsim_apps.dir/segmentation.cc.o.d"
+  "CMakeFiles/retsim_apps.dir/stereo.cc.o"
+  "CMakeFiles/retsim_apps.dir/stereo.cc.o.d"
+  "CMakeFiles/retsim_apps.dir/stereo_hierarchical.cc.o"
+  "CMakeFiles/retsim_apps.dir/stereo_hierarchical.cc.o.d"
+  "libretsim_apps.a"
+  "libretsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

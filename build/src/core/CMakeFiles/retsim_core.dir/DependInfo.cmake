@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy_stage.cc" "src/core/CMakeFiles/retsim_core.dir/energy_stage.cc.o" "gcc" "src/core/CMakeFiles/retsim_core.dir/energy_stage.cc.o.d"
+  "/root/repo/src/core/energy_to_lambda.cc" "src/core/CMakeFiles/retsim_core.dir/energy_to_lambda.cc.o" "gcc" "src/core/CMakeFiles/retsim_core.dir/energy_to_lambda.cc.o.d"
+  "/root/repo/src/core/phase_type.cc" "src/core/CMakeFiles/retsim_core.dir/phase_type.cc.o" "gcc" "src/core/CMakeFiles/retsim_core.dir/phase_type.cc.o.d"
+  "/root/repo/src/core/rsu_config.cc" "src/core/CMakeFiles/retsim_core.dir/rsu_config.cc.o" "gcc" "src/core/CMakeFiles/retsim_core.dir/rsu_config.cc.o.d"
+  "/root/repo/src/core/rsu_pipeline.cc" "src/core/CMakeFiles/retsim_core.dir/rsu_pipeline.cc.o" "gcc" "src/core/CMakeFiles/retsim_core.dir/rsu_pipeline.cc.o.d"
+  "/root/repo/src/core/sampler_cdf.cc" "src/core/CMakeFiles/retsim_core.dir/sampler_cdf.cc.o" "gcc" "src/core/CMakeFiles/retsim_core.dir/sampler_cdf.cc.o.d"
+  "/root/repo/src/core/sampler_rsu.cc" "src/core/CMakeFiles/retsim_core.dir/sampler_rsu.cc.o" "gcc" "src/core/CMakeFiles/retsim_core.dir/sampler_rsu.cc.o.d"
+  "/root/repo/src/core/sampler_software.cc" "src/core/CMakeFiles/retsim_core.dir/sampler_software.cc.o" "gcc" "src/core/CMakeFiles/retsim_core.dir/sampler_software.cc.o.d"
+  "/root/repo/src/core/ttf_race.cc" "src/core/CMakeFiles/retsim_core.dir/ttf_race.cc.o" "gcc" "src/core/CMakeFiles/retsim_core.dir/ttf_race.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/retsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/ret/CMakeFiles/retsim_ret.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrf/CMakeFiles/retsim_mrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/retsim_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

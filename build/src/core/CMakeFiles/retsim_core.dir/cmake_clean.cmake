@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retsim_core.dir/energy_stage.cc.o"
+  "CMakeFiles/retsim_core.dir/energy_stage.cc.o.d"
+  "CMakeFiles/retsim_core.dir/energy_to_lambda.cc.o"
+  "CMakeFiles/retsim_core.dir/energy_to_lambda.cc.o.d"
+  "CMakeFiles/retsim_core.dir/phase_type.cc.o"
+  "CMakeFiles/retsim_core.dir/phase_type.cc.o.d"
+  "CMakeFiles/retsim_core.dir/rsu_config.cc.o"
+  "CMakeFiles/retsim_core.dir/rsu_config.cc.o.d"
+  "CMakeFiles/retsim_core.dir/rsu_pipeline.cc.o"
+  "CMakeFiles/retsim_core.dir/rsu_pipeline.cc.o.d"
+  "CMakeFiles/retsim_core.dir/sampler_cdf.cc.o"
+  "CMakeFiles/retsim_core.dir/sampler_cdf.cc.o.d"
+  "CMakeFiles/retsim_core.dir/sampler_rsu.cc.o"
+  "CMakeFiles/retsim_core.dir/sampler_rsu.cc.o.d"
+  "CMakeFiles/retsim_core.dir/sampler_software.cc.o"
+  "CMakeFiles/retsim_core.dir/sampler_software.cc.o.d"
+  "CMakeFiles/retsim_core.dir/ttf_race.cc.o"
+  "CMakeFiles/retsim_core.dir/ttf_race.cc.o.d"
+  "libretsim_core.a"
+  "libretsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cc" "src/hw/CMakeFiles/retsim_hw.dir/accelerator.cc.o" "gcc" "src/hw/CMakeFiles/retsim_hw.dir/accelerator.cc.o.d"
+  "/root/repo/src/hw/cost_model.cc" "src/hw/CMakeFiles/retsim_hw.dir/cost_model.cc.o" "gcc" "src/hw/CMakeFiles/retsim_hw.dir/cost_model.cc.o.d"
+  "/root/repo/src/hw/perf_model.cc" "src/hw/CMakeFiles/retsim_hw.dir/perf_model.cc.o" "gcc" "src/hw/CMakeFiles/retsim_hw.dir/perf_model.cc.o.d"
+  "/root/repo/src/hw/system_sim.cc" "src/hw/CMakeFiles/retsim_hw.dir/system_sim.cc.o" "gcc" "src/hw/CMakeFiles/retsim_hw.dir/system_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/retsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ret/CMakeFiles/retsim_ret.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/retsim_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrf/CMakeFiles/retsim_mrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/retsim_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

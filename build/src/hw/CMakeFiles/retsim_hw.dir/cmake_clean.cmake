@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retsim_hw.dir/accelerator.cc.o"
+  "CMakeFiles/retsim_hw.dir/accelerator.cc.o.d"
+  "CMakeFiles/retsim_hw.dir/cost_model.cc.o"
+  "CMakeFiles/retsim_hw.dir/cost_model.cc.o.d"
+  "CMakeFiles/retsim_hw.dir/perf_model.cc.o"
+  "CMakeFiles/retsim_hw.dir/perf_model.cc.o.d"
+  "CMakeFiles/retsim_hw.dir/system_sim.cc.o"
+  "CMakeFiles/retsim_hw.dir/system_sim.cc.o.d"
+  "libretsim_hw.a"
+  "libretsim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retsim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

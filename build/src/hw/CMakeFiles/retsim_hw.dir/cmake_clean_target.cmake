@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libretsim_hw.a"
+)

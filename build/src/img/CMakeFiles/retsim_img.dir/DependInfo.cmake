@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/img/dataset_io.cc" "src/img/CMakeFiles/retsim_img.dir/dataset_io.cc.o" "gcc" "src/img/CMakeFiles/retsim_img.dir/dataset_io.cc.o.d"
+  "/root/repo/src/img/filters.cc" "src/img/CMakeFiles/retsim_img.dir/filters.cc.o" "gcc" "src/img/CMakeFiles/retsim_img.dir/filters.cc.o.d"
+  "/root/repo/src/img/pgm_io.cc" "src/img/CMakeFiles/retsim_img.dir/pgm_io.cc.o" "gcc" "src/img/CMakeFiles/retsim_img.dir/pgm_io.cc.o.d"
+  "/root/repo/src/img/synthetic.cc" "src/img/CMakeFiles/retsim_img.dir/synthetic.cc.o" "gcc" "src/img/CMakeFiles/retsim_img.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/retsim_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

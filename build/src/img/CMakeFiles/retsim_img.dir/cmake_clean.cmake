@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retsim_img.dir/dataset_io.cc.o"
+  "CMakeFiles/retsim_img.dir/dataset_io.cc.o.d"
+  "CMakeFiles/retsim_img.dir/filters.cc.o"
+  "CMakeFiles/retsim_img.dir/filters.cc.o.d"
+  "CMakeFiles/retsim_img.dir/pgm_io.cc.o"
+  "CMakeFiles/retsim_img.dir/pgm_io.cc.o.d"
+  "CMakeFiles/retsim_img.dir/synthetic.cc.o"
+  "CMakeFiles/retsim_img.dir/synthetic.cc.o.d"
+  "libretsim_img.a"
+  "libretsim_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retsim_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

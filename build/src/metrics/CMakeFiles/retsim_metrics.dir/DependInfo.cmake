@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/motion_metrics.cc" "src/metrics/CMakeFiles/retsim_metrics.dir/motion_metrics.cc.o" "gcc" "src/metrics/CMakeFiles/retsim_metrics.dir/motion_metrics.cc.o.d"
+  "/root/repo/src/metrics/segmentation_metrics.cc" "src/metrics/CMakeFiles/retsim_metrics.dir/segmentation_metrics.cc.o" "gcc" "src/metrics/CMakeFiles/retsim_metrics.dir/segmentation_metrics.cc.o.d"
+  "/root/repo/src/metrics/stereo_metrics.cc" "src/metrics/CMakeFiles/retsim_metrics.dir/stereo_metrics.cc.o" "gcc" "src/metrics/CMakeFiles/retsim_metrics.dir/stereo_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/retsim_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/retsim_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

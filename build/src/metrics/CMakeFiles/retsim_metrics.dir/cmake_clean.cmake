@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retsim_metrics.dir/motion_metrics.cc.o"
+  "CMakeFiles/retsim_metrics.dir/motion_metrics.cc.o.d"
+  "CMakeFiles/retsim_metrics.dir/segmentation_metrics.cc.o"
+  "CMakeFiles/retsim_metrics.dir/segmentation_metrics.cc.o.d"
+  "CMakeFiles/retsim_metrics.dir/stereo_metrics.cc.o"
+  "CMakeFiles/retsim_metrics.dir/stereo_metrics.cc.o.d"
+  "libretsim_metrics.a"
+  "libretsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

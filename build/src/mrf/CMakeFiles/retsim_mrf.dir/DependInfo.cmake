@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrf/belief_propagation.cc" "src/mrf/CMakeFiles/retsim_mrf.dir/belief_propagation.cc.o" "gcc" "src/mrf/CMakeFiles/retsim_mrf.dir/belief_propagation.cc.o.d"
+  "/root/repo/src/mrf/checkerboard.cc" "src/mrf/CMakeFiles/retsim_mrf.dir/checkerboard.cc.o" "gcc" "src/mrf/CMakeFiles/retsim_mrf.dir/checkerboard.cc.o.d"
+  "/root/repo/src/mrf/energy.cc" "src/mrf/CMakeFiles/retsim_mrf.dir/energy.cc.o" "gcc" "src/mrf/CMakeFiles/retsim_mrf.dir/energy.cc.o.d"
+  "/root/repo/src/mrf/gibbs.cc" "src/mrf/CMakeFiles/retsim_mrf.dir/gibbs.cc.o" "gcc" "src/mrf/CMakeFiles/retsim_mrf.dir/gibbs.cc.o.d"
+  "/root/repo/src/mrf/icm.cc" "src/mrf/CMakeFiles/retsim_mrf.dir/icm.cc.o" "gcc" "src/mrf/CMakeFiles/retsim_mrf.dir/icm.cc.o.d"
+  "/root/repo/src/mrf/metropolis.cc" "src/mrf/CMakeFiles/retsim_mrf.dir/metropolis.cc.o" "gcc" "src/mrf/CMakeFiles/retsim_mrf.dir/metropolis.cc.o.d"
+  "/root/repo/src/mrf/problem.cc" "src/mrf/CMakeFiles/retsim_mrf.dir/problem.cc.o" "gcc" "src/mrf/CMakeFiles/retsim_mrf.dir/problem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/retsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/retsim_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

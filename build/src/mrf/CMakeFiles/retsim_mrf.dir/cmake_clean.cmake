@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retsim_mrf.dir/belief_propagation.cc.o"
+  "CMakeFiles/retsim_mrf.dir/belief_propagation.cc.o.d"
+  "CMakeFiles/retsim_mrf.dir/checkerboard.cc.o"
+  "CMakeFiles/retsim_mrf.dir/checkerboard.cc.o.d"
+  "CMakeFiles/retsim_mrf.dir/energy.cc.o"
+  "CMakeFiles/retsim_mrf.dir/energy.cc.o.d"
+  "CMakeFiles/retsim_mrf.dir/gibbs.cc.o"
+  "CMakeFiles/retsim_mrf.dir/gibbs.cc.o.d"
+  "CMakeFiles/retsim_mrf.dir/icm.cc.o"
+  "CMakeFiles/retsim_mrf.dir/icm.cc.o.d"
+  "CMakeFiles/retsim_mrf.dir/metropolis.cc.o"
+  "CMakeFiles/retsim_mrf.dir/metropolis.cc.o.d"
+  "CMakeFiles/retsim_mrf.dir/problem.cc.o"
+  "CMakeFiles/retsim_mrf.dir/problem.cc.o.d"
+  "libretsim_mrf.a"
+  "libretsim_mrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retsim_mrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ret/exciton_walk.cc" "src/ret/CMakeFiles/retsim_ret.dir/exciton_walk.cc.o" "gcc" "src/ret/CMakeFiles/retsim_ret.dir/exciton_walk.cc.o.d"
+  "/root/repo/src/ret/ret_circuit.cc" "src/ret/CMakeFiles/retsim_ret.dir/ret_circuit.cc.o" "gcc" "src/ret/CMakeFiles/retsim_ret.dir/ret_circuit.cc.o.d"
+  "/root/repo/src/ret/ret_network.cc" "src/ret/CMakeFiles/retsim_ret.dir/ret_network.cc.o" "gcc" "src/ret/CMakeFiles/retsim_ret.dir/ret_network.cc.o.d"
+  "/root/repo/src/ret/truncation.cc" "src/ret/CMakeFiles/retsim_ret.dir/truncation.cc.o" "gcc" "src/ret/CMakeFiles/retsim_ret.dir/truncation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/retsim_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

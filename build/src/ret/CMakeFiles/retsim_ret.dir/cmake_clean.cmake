@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retsim_ret.dir/exciton_walk.cc.o"
+  "CMakeFiles/retsim_ret.dir/exciton_walk.cc.o.d"
+  "CMakeFiles/retsim_ret.dir/ret_circuit.cc.o"
+  "CMakeFiles/retsim_ret.dir/ret_circuit.cc.o.d"
+  "CMakeFiles/retsim_ret.dir/ret_network.cc.o"
+  "CMakeFiles/retsim_ret.dir/ret_network.cc.o.d"
+  "CMakeFiles/retsim_ret.dir/truncation.cc.o"
+  "CMakeFiles/retsim_ret.dir/truncation.cc.o.d"
+  "libretsim_ret.a"
+  "libretsim_ret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retsim_ret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

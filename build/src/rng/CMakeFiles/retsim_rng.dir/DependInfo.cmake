@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/distributions.cc" "src/rng/CMakeFiles/retsim_rng.dir/distributions.cc.o" "gcc" "src/rng/CMakeFiles/retsim_rng.dir/distributions.cc.o.d"
+  "/root/repo/src/rng/lfsr.cc" "src/rng/CMakeFiles/retsim_rng.dir/lfsr.cc.o" "gcc" "src/rng/CMakeFiles/retsim_rng.dir/lfsr.cc.o.d"
+  "/root/repo/src/rng/rng.cc" "src/rng/CMakeFiles/retsim_rng.dir/rng.cc.o" "gcc" "src/rng/CMakeFiles/retsim_rng.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retsim_rng.dir/distributions.cc.o"
+  "CMakeFiles/retsim_rng.dir/distributions.cc.o.d"
+  "CMakeFiles/retsim_rng.dir/lfsr.cc.o"
+  "CMakeFiles/retsim_rng.dir/lfsr.cc.o.d"
+  "CMakeFiles/retsim_rng.dir/rng.cc.o"
+  "CMakeFiles/retsim_rng.dir/rng.cc.o.d"
+  "libretsim_rng.a"
+  "libretsim_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retsim_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

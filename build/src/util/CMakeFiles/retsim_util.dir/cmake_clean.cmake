@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retsim_util.dir/chi_square.cc.o"
+  "CMakeFiles/retsim_util.dir/chi_square.cc.o.d"
+  "CMakeFiles/retsim_util.dir/cli.cc.o"
+  "CMakeFiles/retsim_util.dir/cli.cc.o.d"
+  "CMakeFiles/retsim_util.dir/stats.cc.o"
+  "CMakeFiles/retsim_util.dir/stats.cc.o.d"
+  "CMakeFiles/retsim_util.dir/table.cc.o"
+  "CMakeFiles/retsim_util.dir/table.cc.o.d"
+  "CMakeFiles/retsim_util.dir/thread_pool.cc.o"
+  "CMakeFiles/retsim_util.dir/thread_pool.cc.o.d"
+  "libretsim_util.a"
+  "libretsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

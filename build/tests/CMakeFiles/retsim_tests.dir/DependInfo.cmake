@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accelerator_test.cc" "tests/CMakeFiles/retsim_tests.dir/accelerator_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/accelerator_test.cc.o.d"
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/retsim_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/retsim_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/dataset_io_test.cc" "tests/CMakeFiles/retsim_tests.dir/dataset_io_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/dataset_io_test.cc.o.d"
+  "/root/repo/tests/denoising_test.cc" "tests/CMakeFiles/retsim_tests.dir/denoising_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/denoising_test.cc.o.d"
+  "/root/repo/tests/design_space_test.cc" "tests/CMakeFiles/retsim_tests.dir/design_space_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/design_space_test.cc.o.d"
+  "/root/repo/tests/energy_stage_test.cc" "tests/CMakeFiles/retsim_tests.dir/energy_stage_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/energy_stage_test.cc.o.d"
+  "/root/repo/tests/energy_to_lambda_test.cc" "tests/CMakeFiles/retsim_tests.dir/energy_to_lambda_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/energy_to_lambda_test.cc.o.d"
+  "/root/repo/tests/exciton_test.cc" "tests/CMakeFiles/retsim_tests.dir/exciton_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/exciton_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/retsim_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/hierarchical_test.cc" "tests/CMakeFiles/retsim_tests.dir/hierarchical_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/hierarchical_test.cc.o.d"
+  "/root/repo/tests/hw_test.cc" "tests/CMakeFiles/retsim_tests.dir/hw_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/hw_test.cc.o.d"
+  "/root/repo/tests/img_test.cc" "tests/CMakeFiles/retsim_tests.dir/img_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/img_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/retsim_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/retsim_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/mrf_test.cc" "tests/CMakeFiles/retsim_tests.dir/mrf_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/mrf_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/retsim_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/ret_test.cc" "tests/CMakeFiles/retsim_tests.dir/ret_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/ret_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/retsim_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/sampler_test.cc" "tests/CMakeFiles/retsim_tests.dir/sampler_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/sampler_test.cc.o.d"
+  "/root/repo/tests/system_sim_test.cc" "tests/CMakeFiles/retsim_tests.dir/system_sim_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/system_sim_test.cc.o.d"
+  "/root/repo/tests/ttf_race_test.cc" "tests/CMakeFiles/retsim_tests.dir/ttf_race_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/ttf_race_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/retsim_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/retsim_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/retsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/retsim_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/retsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ret/CMakeFiles/retsim_ret.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrf/CMakeFiles/retsim_mrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/retsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/retsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/retsim_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
