@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Serial vs. threaded chromatic-Gibbs sweep throughput.
+ *
+ * The paper's speedup claim rests on the chromatic schedule exposing
+ * one-half of the grid as independent samples; this bench measures how
+ * much of that parallelism the software substrate now captures.  It
+ * times full checkerboard sweeps (pixels/s) on the denoising and
+ * stereo workloads — the serial reference path, then the striped path
+ * at 1/2/4/N threads with a fixed stripe count — and emits
+ * machine-readable JSON (BENCH_solver_scaling.json) so later PRs have
+ * a perf trajectory to regress against.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "apps/denoising.hh"
+#include "apps/stereo.hh"
+#include "bench_common.hh"
+#include "img/synthetic.hh"
+#include "mrf/checkerboard.hh"
+
+namespace {
+
+using namespace retsim;
+
+struct RunResult
+{
+    int threads = 0;
+    int stripes = 0;
+    double seconds = 0.0;
+    double pixelsPerSec = 0.0;
+};
+
+double
+timeSolve(const mrf::MrfProblem &problem,
+          const bench::SamplerFactory &factory,
+          const mrf::SolverConfig &cfg)
+{
+    auto sampler = factory();
+    mrf::CheckerboardGibbsSolver solver(cfg);
+    auto start = std::chrono::steady_clock::now();
+    solver.run(problem, *sampler);
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    return dt.count();
+}
+
+RunResult
+measure(const mrf::MrfProblem &problem,
+        const bench::SamplerFactory &factory, mrf::SolverConfig cfg,
+        int threads, int stripes)
+{
+    cfg.threads = threads;
+    cfg.stripes = stripes;
+    RunResult r;
+    r.threads = threads;
+    r.stripes = stripes;
+    r.seconds = timeSolve(problem, factory, cfg);
+    double pixels = static_cast<double>(problem.width()) *
+                    problem.height() * cfg.annealing.sweeps;
+    r.pixelsPerSec = pixels / r.seconds;
+    return r;
+}
+
+void
+printRun(const RunResult &r, double serial_s)
+{
+    std::printf("  threads=%2d stripes=%2d  %8.3f s  %12.0f px/s  "
+                "%.2fx\n",
+                r.threads, r.stripes, r.seconds, r.pixelsPerSec,
+                serial_s / r.seconds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::CliArgs args(argc, argv);
+    const int size = static_cast<int>(args.getInt("size", 256));
+    const int sweeps = static_cast<int>(args.getInt("sweeps", 6));
+    const int stripes = static_cast<int>(args.getInt("stripes", 16));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const std::string out =
+        args.getString("out", "BENCH_solver_scaling.json");
+    const int hw = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+
+    bench::printHeader(
+        "Chromatic Gibbs sweep throughput: serial vs. row-striped "
+        "threading",
+        "software substrate of the concurrent RSU-G array (Sec. II-C)");
+    std::printf("grid %dx%d, %d sweeps, %d hardware threads\n", size,
+                size, sweeps, hw);
+
+    // Thread counts 1/2/4/N, deduplicated and capped at the machine.
+    std::set<int> thread_set{1, 2, 4, hw};
+
+    // Denoising: 32-level restoration of a noisy synthetic texture.
+    img::ImageU8 clean(size, size);
+    for (int y = 0; y < size; ++y)
+        for (int x = 0; x < size; ++x)
+            clean(x, y) = static_cast<std::uint8_t>(
+                img::textureIntensity(x, y, 0xd5));
+    img::ImageU8 noisy = apps::addGaussianNoise(clean, 10.0, seed);
+    apps::DenoisingParams dp;
+    mrf::MrfProblem denoise = apps::buildDenoisingProblem(noisy, dp);
+
+    // Stereo: synthetic scene at the same grid size, 32 disparities.
+    img::StereoSceneSpec sspec;
+    sspec.width = size;
+    sspec.height = size;
+    sspec.numLabels = 32;
+    img::StereoScene scene = img::makeStereoScene(sspec, seed + 17);
+    mrf::MrfProblem stereo = apps::buildStereoProblem(scene);
+
+    struct Workload
+    {
+        const char *name;
+        const mrf::MrfProblem *problem;
+        mrf::SolverConfig cfg;
+    };
+    mrf::SolverConfig dcfg = apps::defaultDenoisingSolver(sweeps, seed);
+    mrf::SolverConfig scfg = apps::defaultStereoSolver(sweeps, seed);
+    Workload workloads[] = {{"denoising", &denoise, dcfg},
+                            {"stereo", &stereo, scfg}};
+
+    bench::SamplerFactory factory = bench::softwareFactory();
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f)
+        RETSIM_FATAL("cannot open ", out, " for writing");
+    std::fprintf(f,
+                 "{\n  \"bench\": \"solver_scaling\",\n"
+                 "  \"grid\": [%d, %d],\n  \"sweeps\": %d,\n"
+                 "  \"seed\": %llu,\n  \"hardware_threads\": %d,\n"
+                 "  \"sampler\": \"software-float\",\n"
+                 "  \"workloads\": [",
+                 size, size, sweeps,
+                 static_cast<unsigned long long>(seed), hw);
+
+    bool first_workload = true;
+    for (const Workload &w : workloads) {
+        std::printf("\n[%s] %d labels\n", w.name,
+                    w.problem->numLabels());
+
+        // Serial reference: the historical single-stream path.
+        RunResult serial = measure(*w.problem, factory, w.cfg, 1, 0);
+        std::printf("  serial (reference)   %8.3f s  %12.0f px/s\n",
+                    serial.seconds, serial.pixelsPerSec);
+
+        std::vector<RunResult> runs;
+        for (int t : thread_set)
+            runs.push_back(
+                measure(*w.problem, factory, w.cfg, t, stripes));
+        for (const RunResult &r : runs)
+            printRun(r, serial.seconds);
+
+        std::fprintf(
+            f,
+            "%s\n    {\n      \"name\": \"%s\",\n"
+            "      \"labels\": %d,\n"
+            "      \"serial\": {\"seconds\": %.6f, "
+            "\"pixels_per_s\": %.1f},\n      \"runs\": [",
+            first_workload ? "" : ",", w.name,
+            w.problem->numLabels(), serial.seconds,
+            serial.pixelsPerSec);
+        first_workload = false;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const RunResult &r = runs[i];
+            std::fprintf(
+                f,
+                "%s\n        {\"threads\": %d, \"stripes\": %d, "
+                "\"seconds\": %.6f, \"pixels_per_s\": %.1f, "
+                "\"speedup_vs_serial\": %.3f}",
+                i == 0 ? "" : ",", r.threads, r.stripes, r.seconds,
+                r.pixelsPerSec, serial.seconds / r.seconds);
+        }
+        std::fprintf(f, "\n      ]\n    }");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out.c_str());
+    return 0;
+}

@@ -41,6 +41,14 @@ class CdfLutSampler : public mrf::LabelSampler
 
     std::string name() const override;
 
+    /** Clone with an independently forked entropy stream. */
+    std::unique_ptr<mrf::LabelSampler>
+    clone(std::uint64_t stream) const override
+    {
+        return std::make_unique<CdfLutSampler>(source_->split(stream),
+                                               maxLabels_);
+    }
+
     int maxLabels() const { return maxLabels_; }
 
   private:

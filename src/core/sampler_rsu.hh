@@ -42,6 +42,18 @@ class RsuSampler : public mrf::LabelSampler
 
     std::string name() const override;
 
+    /**
+     * Same device configuration, fresh conversion cache and counters.
+     * The RSU draws entropy from the solver-provided generator, so the
+     * stream index is unused.
+     */
+    std::unique_ptr<mrf::LabelSampler>
+    clone(std::uint64_t stream) const override
+    {
+        (void)stream;
+        return std::make_unique<RsuSampler>(cfg_);
+    }
+
     const RsuConfig &config() const { return cfg_; }
 
     // ---- instrumentation ---------------------------------------------

@@ -13,6 +13,7 @@
 #ifndef RETSIM_CORE_SAMPLER_SOFTWARE_HH
 #define RETSIM_CORE_SAMPLER_SOFTWARE_HH
 
+#include <memory>
 #include <vector>
 
 #include "mrf/sampler.hh"
@@ -29,6 +30,14 @@ class SoftwareSampler : public mrf::LabelSampler
                int current, rng::Rng &gen) override;
 
     std::string name() const override { return "software-float"; }
+
+    /** Stateless apart from scratch; the stream index is unused. */
+    std::unique_ptr<mrf::LabelSampler>
+    clone(std::uint64_t stream) const override
+    {
+        (void)stream;
+        return std::make_unique<SoftwareSampler>();
+    }
 
   private:
     std::vector<double> weights_; // scratch, reused across calls

@@ -1,9 +1,50 @@
 #include "mrf/checkerboard.hh"
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace retsim {
 namespace mrf {
+
+namespace {
+
+/**
+ * Seed of the RNG stream that drives one (sweep, color, stripe)
+ * phase.  Chained SplitMix64 mixes keep distinct coordinates
+ * decorrelated, and the derivation depends only on the solver seed and
+ * the stripe decomposition — never on which thread runs the stripe.
+ */
+std::uint64_t
+stripeStreamSeed(std::uint64_t seed, int sweep, int color, int stripe)
+{
+    std::uint64_t s =
+        rng::streamSeed(seed, static_cast<std::uint64_t>(sweep));
+    s = rng::streamSeed(s, static_cast<std::uint64_t>(color));
+    return rng::streamSeed(s, static_cast<std::uint64_t>(stripe));
+}
+
+/** Per-stripe trace counters, merged into SolverTrace per sweep. */
+struct StripeCounters
+{
+    std::uint64_t pixelUpdates = 0;
+    std::uint64_t labelChanges = 0;
+};
+
+} // namespace
+
+int
+CheckerboardGibbsSolver::effectiveStripes(int height) const
+{
+    int stripes =
+        config_.stripes > 0 ? config_.stripes : std::min(height, 16);
+    return std::min(stripes, height);
+}
 
 img::LabelMap
 CheckerboardGibbsSolver::run(const MrfProblem &problem,
@@ -17,6 +58,8 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
     RETSIM_ASSERT(problem.neighborhood() == Neighborhood::Four,
                   "the two-color chromatic schedule is only valid on "
                   "the 4-neighborhood (8-connectivity needs 4 colors)");
+    RETSIM_ASSERT(config_.threads >= 0 && config_.stripes >= 0,
+                  "threads/stripes cannot be negative");
     const int m = problem.numLabels();
     rng::Xoshiro256 gen(config_.seed);
 
@@ -25,26 +68,120 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
             l = static_cast<int>(gen.nextBounded(m));
     }
 
-    std::vector<float> energies(m);
+    // Serial reference path: one RNG stream drives every pixel, the
+    // historical (pre-striping) behavior.  Taken only when neither a
+    // stripe decomposition nor threading was requested.
+    if (config_.threads == 1 && config_.stripes == 0) {
+        std::vector<float> energies(m);
+        for (int s = 0; s < config_.annealing.sweeps; ++s) {
+            double temperature = config_.annealing.temperature(s);
+            for (int color = 0; color < 2; ++color) {
+                for (int y = 0; y < problem.height(); ++y) {
+                    for (int x = (y + color) % 2;
+                         x < problem.width(); x += 2) {
+                        problem.conditionalEnergies(labels, x, y,
+                                                    energies);
+                        int current = labels(x, y);
+                        int chosen = sampler.sample(
+                            energies, temperature, current, gen);
+                        labels(x, y) = chosen;
+                        if (trace) {
+                            ++trace->pixelUpdates;
+                            if (chosen != current)
+                                ++trace->labelChanges;
+                        }
+                    }
+                }
+            }
+            if (trace) {
+                trace->energyPerSweep.push_back(
+                    problem.totalEnergy(labels));
+                trace->temperaturePerSweep.push_back(temperature);
+            }
+        }
+        return labels;
+    }
+
+    // Striped chromatic path.  Within one color phase all same-color
+    // pixels are conditionally independent (their neighbors all have
+    // the other color), so contiguous row stripes can be sampled
+    // concurrently from a consistent snapshot — the software analog of
+    // the paper's concurrent RSU-G array.  Each stripe owns a private
+    // sampler clone and a per-phase RNG stream keyed by (seed, sweep,
+    // color, stripe), making the output bit-deterministic for a fixed
+    // (seed, stripe count) regardless of thread count or scheduling.
+    const int height = problem.height();
+    const int width = problem.width();
+    const int stripes = effectiveStripes(height);
+    int threads = config_.threads == 0
+                      ? static_cast<int>(
+                            util::ThreadPool::global().numThreads())
+                      : config_.threads;
+    threads = std::min(threads, stripes);
+
+    // parallelFor's caller participates, so a pool of threads-1
+    // workers yields exactly `threads` concurrent executors.
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<util::ThreadPool>(
+            static_cast<std::size_t>(threads - 1));
+
+    std::vector<std::unique_ptr<LabelSampler>> workers(
+        static_cast<std::size_t>(stripes));
+    std::vector<std::vector<float>> scratch(
+        static_cast<std::size_t>(stripes), std::vector<float>(m));
+    for (int k = 0; k < stripes; ++k)
+        workers[k] = sampler.clone(static_cast<std::uint64_t>(k));
+
+    std::vector<StripeCounters> counters(
+        static_cast<std::size_t>(stripes));
+
+    auto run_stripe = [&](int sweep, int color, int k,
+                          double temperature) {
+        const int y0 = static_cast<int>(
+            static_cast<std::int64_t>(k) * height / stripes);
+        const int y1 = static_cast<int>(
+            static_cast<std::int64_t>(k + 1) * height / stripes);
+        rng::Xoshiro256 stripe_gen(
+            stripeStreamSeed(config_.seed, sweep, color, k));
+        LabelSampler &stripe_sampler = *workers[k];
+        std::span<float> energies(scratch[k]);
+        StripeCounters &c = counters[k];
+        for (int y = y0; y < y1; ++y) {
+            for (int x = (y + color) % 2; x < width; x += 2) {
+                problem.conditionalEnergies(labels, x, y, energies);
+                int current = labels(x, y);
+                int chosen = stripe_sampler.sample(
+                    energies, temperature, current, stripe_gen);
+                labels(x, y) = chosen;
+                ++c.pixelUpdates;
+                if (chosen != current)
+                    ++c.labelChanges;
+            }
+        }
+    };
+
     for (int s = 0; s < config_.annealing.sweeps; ++s) {
         double temperature = config_.annealing.temperature(s);
         for (int color = 0; color < 2; ++color) {
-            // All same-color pixels depend only on the other color:
-            // this loop is what the accelerator executes in parallel.
-            for (int y = 0; y < problem.height(); ++y) {
-                for (int x = (y + color) % 2; x < problem.width();
-                     x += 2) {
-                    problem.conditionalEnergies(labels, x, y,
-                                                energies);
-                    int current = labels(x, y);
-                    int chosen = sampler.sample(energies, temperature,
-                                                current, gen);
-                    labels(x, y) = chosen;
-                    if (trace) {
-                        ++trace->pixelUpdates;
-                        if (chosen != current)
-                            ++trace->labelChanges;
-                    }
+            if (pool) {
+                pool->parallelFor(
+                    static_cast<std::size_t>(stripes),
+                    [&](std::size_t k) {
+                        run_stripe(s, color, static_cast<int>(k),
+                                   temperature);
+                    });
+            } else {
+                for (int k = 0; k < stripes; ++k)
+                    run_stripe(s, color, k, temperature);
+            }
+            // Merge trace counters at the phase barrier so the trace
+            // totals are exact after every sweep.
+            if (trace) {
+                for (StripeCounters &c : counters) {
+                    trace->pixelUpdates += c.pixelUpdates;
+                    trace->labelChanges += c.labelChanges;
+                    c = StripeCounters{};
                 }
             }
         }

@@ -6,12 +6,21 @@
  * (Sec. II-C); on a 4-connected grid, pixels of the same parity have
  * no shared edges, so all "red" pixels can be updated in parallel
  * from a consistent snapshot, then all "black" pixels — the standard
- * chromatic Gibbs schedule.  This solver executes that schedule
- * (sequentially, but with the exact parallel data dependences:
- * within a half-sweep every conditional is computed against the
- * *other* color only), so its output is what the real accelerator
- * would produce.  An accelerator with U units finishes a half-sweep
- * in ceil(pixels/2/U) * M cycles — the number hw::PerfModel uses.
+ * chromatic Gibbs schedule.  This solver executes that schedule with
+ * the exact parallel data dependences (within a half-sweep every
+ * conditional is computed against the *other* color only), so its
+ * output is what the real accelerator would produce.  An accelerator
+ * with U units finishes a half-sweep in ceil(pixels/2/U) * M cycles —
+ * the number hw::PerfModel uses.
+ *
+ * With SolverConfig::threads > 1 (or stripes > 0) each color phase is
+ * partitioned into contiguous row stripes executed concurrently on a
+ * thread pool.  Every stripe draws from its own RNG stream derived
+ * from (seed, sweep, color, stripe) and samples through its own
+ * LabelSampler::clone(), so the result is bit-deterministic for a
+ * fixed seed and stripe count, independent of thread count and OS
+ * scheduling.  threads == 1 && stripes == 0 runs the historical
+ * single-stream serial path.
  */
 
 #ifndef RETSIM_MRF_CHECKERBOARD_HH
@@ -40,6 +49,13 @@ class CheckerboardGibbsSolver
                       SolverTrace *trace = nullptr) const;
 
     const SolverConfig &config() const { return config_; }
+
+    /**
+     * Stripe count actually used for a problem of the given height:
+     * the configured count, or min(height, 16) when unset, clamped so
+     * no stripe is empty.
+     */
+    int effectiveStripes(int height) const;
 
   private:
     SolverConfig config_;

@@ -65,6 +65,18 @@ class PairwiseTable
         return table_[static_cast<std::size_t>(i) * numLabels_ + j];
     }
 
+    /**
+     * Contiguous row @p i of the table.  Every distance kind is
+     * symmetric, so row q doubles as column q: row(q)[i] is the
+     * doubleton energy of label i against a neighbor labeled q —
+     * the access pattern of the fused conditional-energy kernel.
+     */
+    const float *
+    row(int i) const
+    {
+        return table_.data() + static_cast<std::size_t>(i) * numLabels_;
+    }
+
     /** Largest entry (used to budget the 8-bit energy range). */
     float maxEntry() const { return maxEntry_; }
 

@@ -44,11 +44,12 @@ GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
     std::vector<float> energies(m);
     const std::size_t pixels =
         static_cast<std::size_t>(problem.width()) * problem.height();
+    // Filled lazily on the first random-scan sweep, then reshuffled in
+    // place; pixel ids must narrow to 32 bits without loss.
     std::vector<std::uint32_t> order;
     if (config_.randomScan) {
-        order.resize(pixels);
-        for (std::size_t i = 0; i < pixels; ++i)
-            order[i] = static_cast<std::uint32_t>(i);
+        RETSIM_ASSERT(pixels <= UINT32_MAX,
+                      "random-scan order buffer limited to 2^32 pixels");
     }
 
     auto update_pixel = [&](int x, int y, double temperature) {
@@ -69,6 +70,11 @@ GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
     for (int s = 0; s < config_.annealing.sweeps; ++s) {
         double temperature = config_.annealing.temperature(s);
         if (config_.randomScan) {
+            if (order.empty()) {
+                order.resize(pixels);
+                for (std::size_t i = 0; i < pixels; ++i)
+                    order[i] = static_cast<std::uint32_t>(i);
+            }
             // Fisher-Yates with the solver's own generator keeps the
             // whole run deterministic per seed.
             for (std::size_t i = pixels; i > 1; --i) {

@@ -48,6 +48,23 @@ struct SolverConfig
      * software-side option.
      */
     bool randomScan = false;
+    /**
+     * Worker-thread count for solvers with a chromatic schedule
+     * (CheckerboardGibbsSolver).  1 = the serial reference path, 0 =
+     * one thread per hardware core, N > 1 = exactly N concurrent
+     * executors.  The raster/random-scan GibbsSolver is sequentially
+     * dependent pixel to pixel and ignores this knob.
+     */
+    int threads = 1;
+    /**
+     * Row-stripe count of the chromatic decomposition; each stripe
+     * draws from its own RNG stream derived from (seed, sweep, color,
+     * stripe), so the result is a function of (seed, stripes) only —
+     * never of the thread count or OS scheduling.  0 = serial legacy
+     * behavior when threads <= 1, otherwise an automatic
+     * problem-dependent stripe count (min(height, 16)).
+     */
+    int stripes = 0;
 };
 
 struct SolverTrace

@@ -72,13 +72,21 @@ class MrfProblem
     void conditionalEnergies(const img::LabelMap &labels, int x, int y,
                              std::span<float> out) const;
 
-    /** Total energy of a complete labeling (for convergence checks). */
+    /**
+     * Total energy of a complete labeling (for convergence checks).
+     * Large grids are reduced as one partial sum per row (computed on
+     * the global thread pool) accumulated in row order, so the value
+     * is deterministic for a labeling regardless of thread count.
+     */
     double totalEnergy(const img::LabelMap &labels) const;
 
     /** Largest possible conditional energy (8-bit budget checks). */
     double maxConditionalEnergy() const;
 
   private:
+    /** Energy owned by row @p y: its singletons + right/down edges. */
+    double rowEnergy(const img::LabelMap &labels, int y) const;
+
     std::size_t
     index(int x, int y, int label) const
     {

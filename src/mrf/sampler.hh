@@ -13,6 +13,7 @@
 #ifndef RETSIM_MRF_SAMPLER_HH
 #define RETSIM_MRF_SAMPLER_HH
 
+#include <memory>
 #include <span>
 #include <string>
 
@@ -43,6 +44,21 @@ class LabelSampler
 
     /** Human-readable implementation name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Create an independent sampler of the same configuration with
+     * private scratch state, so each worker of a parallel solver can
+     * sample concurrently without sharing mutable state.
+     *
+     * @param stream Per-clone stream index.  Implementations that own
+     *        an entropy source (e.g. the CDF-LUT device models) must
+     *        fork an independent stream per index, so a fixed
+     *        (sampler, stream) pair is deterministic.  Stateless
+     *        implementations may ignore it.  Instrumentation counters
+     *        of the clone start at zero.
+     */
+    virtual std::unique_ptr<LabelSampler>
+    clone(std::uint64_t stream) const = 0;
 };
 
 } // namespace mrf

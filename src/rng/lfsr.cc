@@ -68,5 +68,20 @@ Lfsr::maximalPeriod() const
     return (std::uint64_t{1} << width_) - 1;
 }
 
+std::unique_ptr<Rng>
+Lfsr::split(std::uint64_t stream) const
+{
+    // Same register and tap set, restarted at a derived (nonzero)
+    // point of the cycle.
+    auto child = std::make_unique<Lfsr>(*this);
+    std::uint64_t mask = width_ >= 64
+                             ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << width_) - 1;
+    child->state_ = streamSeed(state_, stream) & mask;
+    if (child->state_ == 0)
+        child->state_ = 1;
+    return child;
+}
+
 } // namespace rng
 } // namespace retsim

@@ -42,6 +42,7 @@ class Lfsr : public Rng
 
     std::uint64_t next64() override { return stepBits(64); }
     std::string name() const override;
+    std::unique_ptr<Rng> split(std::uint64_t stream) const override;
 
     unsigned width() const { return width_; }
     std::uint64_t state() const { return state_; }

@@ -27,6 +27,12 @@ SplitMix64::next64()
     return z ^ (z >> 31);
 }
 
+std::unique_ptr<Rng>
+SplitMix64::split(std::uint64_t stream) const
+{
+    return std::make_unique<SplitMix64>(streamSeed(state_, stream));
+}
+
 namespace {
 
 constexpr std::uint64_t
@@ -58,6 +64,19 @@ Xoshiro256::next64()
     s_[3] = rotl(s_[3], 45);
 
     return result;
+}
+
+std::unique_ptr<Rng>
+Xoshiro256::split(std::uint64_t stream) const
+{
+    // Reseed from the parent state and the stream index, then jump so
+    // the child is 2^128 steps away from any seed-adjacent trajectory.
+    std::uint64_t master = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                           rotl(s_[3], 47);
+    auto child =
+        std::make_unique<Xoshiro256>(streamSeed(master, stream));
+    child->jump();
+    return child;
 }
 
 void

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
@@ -33,6 +34,16 @@ class Rng
 
     /** Generator name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Fork an independent child stream of the same generator family.
+     * Distinct @p stream indices (and distinct parent states) yield
+     * decorrelated children; the same (parent state, stream) pair
+     * always yields the same child, so forking is deterministic and
+     * safe to use for reproducible parallel decompositions.  The
+     * parent's own sequence is not advanced.
+     */
+    virtual std::unique_ptr<Rng> split(std::uint64_t stream) const = 0;
 
     /** Uniform double in [0, 1) with 53 bits of precision. */
     double
@@ -53,6 +64,12 @@ class Rng
 };
 
 /**
+ * Derive the i-th independent stream seed from a master seed.  Uses
+ * SplitMix64 so streams are decorrelated even for adjacent indices.
+ */
+std::uint64_t streamSeed(std::uint64_t master, std::uint64_t index);
+
+/**
  * SplitMix64: tiny generator used for seeding other generators from a
  * single 64-bit seed (Steele et al., OOPSLA'14 reference sequence).
  */
@@ -63,6 +80,7 @@ class SplitMix64 : public Rng
 
     std::uint64_t next64() override;
     std::string name() const override { return "splitmix64"; }
+    std::unique_ptr<Rng> split(std::uint64_t stream) const override;
 
   private:
     std::uint64_t state_;
@@ -79,6 +97,7 @@ class Xoshiro256 : public Rng
 
     std::uint64_t next64() override;
     std::string name() const override { return "xoshiro256**"; }
+    std::unique_ptr<Rng> split(std::uint64_t stream) const override;
 
     /** Advance 2^128 steps; yields an independent parallel stream. */
     void jump();
@@ -91,13 +110,20 @@ class Xoshiro256 : public Rng
 class Mt19937 : public Rng
 {
   public:
-    explicit Mt19937(std::uint64_t seed) : engine_(seed) {}
+    explicit Mt19937(std::uint64_t seed) : engine_(seed), seed_(seed) {}
 
     std::uint64_t next64() override { return engine_(); }
     std::string name() const override { return "mt19937"; }
 
+    std::unique_ptr<Rng>
+    split(std::uint64_t stream) const override
+    {
+        return std::make_unique<Mt19937>(streamSeed(seed_, stream));
+    }
+
   private:
     std::mt19937_64 engine_;
+    std::uint64_t seed_;
 };
 
 /**
@@ -124,16 +150,18 @@ class CountingRng : public Rng
     std::string name() const override { return "counting"; }
     std::size_t draws() const { return pos_; }
 
+    /** Children replay the same fixed script from the start. */
+    std::unique_ptr<Rng>
+    split(std::uint64_t stream) const override
+    {
+        (void)stream;
+        return std::make_unique<CountingRng>(values_);
+    }
+
   private:
     std::vector<std::uint64_t> values_;
     std::size_t pos_ = 0;
 };
-
-/**
- * Derive the i-th independent stream seed from a master seed.  Uses
- * SplitMix64 so streams are decorrelated even for adjacent indices.
- */
-std::uint64_t streamSeed(std::uint64_t master, std::uint64_t index);
 
 } // namespace rng
 } // namespace retsim

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Concurrency tests for the striped chromatic Gibbs solver and the
+ * sampler/RNG cloning layer.  Built as a separate ctest binary with
+ * the "concurrency" label so the suite can be run in isolation under
+ * ThreadSanitizer (cmake -DRETSIM_SANITIZE=thread; ctest -L
+ * concurrency).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/denoising.hh"
+#include "core/sampler_cdf.hh"
+#include "core/sampler_rsu.hh"
+#include "core/sampler_software.hh"
+#include "img/synthetic.hh"
+#include "mrf/checkerboard.hh"
+#include "mrf/problem.hh"
+#include "rng/lfsr.hh"
+#include "util/thread_pool.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::mrf;
+
+/** A small denoising problem with a non-trivial singleton field. */
+MrfProblem
+denoisingProblem(int side, std::uint64_t seed)
+{
+    img::ImageU8 clean(side, side);
+    for (int y = 0; y < side; ++y)
+        for (int x = 0; x < side; ++x)
+            clean(x, y) = static_cast<std::uint8_t>(
+                img::textureIntensity(x, y, 0xabc));
+    img::ImageU8 noisy = apps::addGaussianNoise(clean, 12.0, seed);
+    return apps::buildDenoisingProblem(noisy);
+}
+
+SolverConfig
+annealConfig(int sweeps, std::uint64_t seed)
+{
+    SolverConfig cfg;
+    cfg.annealing.sweeps = sweeps;
+    cfg.annealing.t0 = 8.0;
+    cfg.annealing.tEnd = 0.5;
+    cfg.seed = seed;
+    return cfg;
+}
+
+// ------------------------------------------------- solver determinism
+
+TEST(ThreadedCheckerboard, BitIdenticalAcrossRunsAndThreadCounts)
+{
+    MrfProblem p = denoisingProblem(32, 7);
+    SolverConfig cfg = annealConfig(8, 42);
+    cfg.stripes = 4; // fixed decomposition: results may not depend on
+                     // anything else below
+
+    std::vector<img::LabelMap> outs;
+    for (int threads : {1, 2, 4, 4}) { // repeated 4: run-to-run check
+        cfg.threads = threads;
+        core::SoftwareSampler s;
+        outs.push_back(CheckerboardGibbsSolver(cfg).run(p, s));
+    }
+    for (std::size_t i = 1; i < outs.size(); ++i)
+        EXPECT_EQ(outs[0].data(), outs[i].data())
+            << "labeling diverged at variant " << i;
+}
+
+TEST(ThreadedCheckerboard, StripeCountChangesTheChain)
+{
+    // The stripe count selects the RNG decomposition, so different
+    // stripe counts are different (equally valid) chains.
+    MrfProblem p = denoisingProblem(24, 3);
+    SolverConfig cfg = annealConfig(4, 9);
+    cfg.threads = 2;
+    cfg.stripes = 2;
+    core::SoftwareSampler s1, s2;
+    auto a = CheckerboardGibbsSolver(cfg).run(p, s1);
+    cfg.stripes = 6;
+    auto b = CheckerboardGibbsSolver(cfg).run(p, s2);
+    EXPECT_NE(a.data(), b.data());
+}
+
+TEST(ThreadedCheckerboard, TraceCountersExactUnderThreading)
+{
+    MrfProblem p = denoisingProblem(20, 5);
+    SolverConfig cfg = annealConfig(6, 11);
+    cfg.threads = 4;
+    cfg.stripes = 5;
+    core::SoftwareSampler s;
+    SolverTrace trace;
+    CheckerboardGibbsSolver(cfg).run(p, s, &trace);
+    EXPECT_EQ(trace.pixelUpdates, 6u * 20 * 20);
+    ASSERT_EQ(trace.energyPerSweep.size(), 6u);
+    EXPECT_GT(trace.labelChanges, 0u);
+}
+
+TEST(ThreadedCheckerboard, StatisticallyEquivalentToSerial)
+{
+    // Same problem, serial reference chain vs. striped chain: both
+    // must anneal to final energies in the same band.
+    MrfProblem p = denoisingProblem(48, 21);
+    SolverConfig cfg = annealConfig(30, 77);
+
+    core::SoftwareSampler s1, s2;
+    SolverTrace serial_trace, striped_trace;
+    CheckerboardGibbsSolver(cfg).run(p, s1, &serial_trace);
+    cfg.threads = 4;
+    cfg.stripes = 6;
+    CheckerboardGibbsSolver(cfg).run(p, s2, &striped_trace);
+
+    double serial_e = serial_trace.energyPerSweep.back();
+    double striped_e = striped_trace.energyPerSweep.back();
+    // Both anneals must have made real progress...
+    EXPECT_LT(serial_e, serial_trace.energyPerSweep.front() * 0.8);
+    EXPECT_LT(striped_e, striped_trace.energyPerSweep.front() * 0.8);
+    // ...and land within 5% of each other.
+    EXPECT_NEAR(striped_e, serial_e, 0.05 * std::abs(serial_e));
+}
+
+TEST(ThreadedCheckerboard, AutoStripesIndependentOfThreadCount)
+{
+    // stripes=0 with threading derives min(height, 16) — the same
+    // decomposition for any thread count, so outputs still agree.
+    MrfProblem p = denoisingProblem(20, 2);
+    SolverConfig cfg = annealConfig(4, 5);
+    cfg.stripes = 0;
+    cfg.threads = 2;
+    core::SoftwareSampler s1, s2;
+    auto a = CheckerboardGibbsSolver(cfg).run(p, s1);
+    cfg.threads = 4;
+    auto b = CheckerboardGibbsSolver(cfg).run(p, s2);
+    EXPECT_EQ(a.data(), b.data());
+    EXPECT_EQ(CheckerboardGibbsSolver(cfg).effectiveStripes(20), 16);
+    EXPECT_EQ(CheckerboardGibbsSolver(cfg).effectiveStripes(9), 9);
+}
+
+TEST(ThreadedCheckerboard, RsuSamplerDeterministicWhenStriped)
+{
+    // The RSU functional model must stay reproducible through the
+    // clone/stripe path too (it draws from the stripe's generator).
+    MrfProblem p = denoisingProblem(16, 13);
+    SolverConfig cfg = annealConfig(4, 19);
+    cfg.stripes = 4;
+    std::vector<img::LabelMap> outs;
+    for (int threads : {1, 3}) {
+        cfg.threads = threads;
+        core::RsuSampler s(core::RsuConfig::newDesign());
+        outs.push_back(CheckerboardGibbsSolver(cfg).run(p, s));
+    }
+    EXPECT_EQ(outs[0].data(), outs[1].data());
+}
+
+// ----------------------------------------------------- sampler clones
+
+std::vector<float>
+rampEnergies(int m)
+{
+    std::vector<float> e(m);
+    for (int i = 0; i < m; ++i)
+        e[i] = static_cast<float>((i * 13) % 29);
+    return e;
+}
+
+/**
+ * Draw a label sequence from one sampler, giving it a private
+ * generator stream.
+ */
+std::vector<int>
+drawSequence(mrf::LabelSampler &sampler, int draws, std::uint64_t seed)
+{
+    auto energies = rampEnergies(8);
+    rng::Xoshiro256 gen(seed);
+    std::vector<int> labels(draws);
+    for (int i = 0; i < draws; ++i)
+        labels[i] = sampler.sample(energies, 4.0, 0, gen);
+    return labels;
+}
+
+template <typename MakeSampler>
+void
+expectCloneIsolation(MakeSampler make)
+{
+    auto parent = make();
+    constexpr int kClones = 6;
+    constexpr int kDraws = 400;
+
+    // Serial reference sequences, one per clone index.
+    std::vector<std::vector<int>> serial(kClones);
+    for (int k = 0; k < kClones; ++k) {
+        auto clone = parent->clone(static_cast<std::uint64_t>(k));
+        serial[k] = drawSequence(*clone, kDraws,
+                                 static_cast<std::uint64_t>(100 + k));
+    }
+
+    // The same clone indices drawn concurrently must reproduce the
+    // serial sequences exactly — any shared mutable state between
+    // clones (scratch vectors, LUT caches, entropy sources) would
+    // corrupt them.
+    std::vector<std::vector<int>> concurrent(kClones);
+    std::vector<std::unique_ptr<mrf::LabelSampler>> clones(kClones);
+    for (int k = 0; k < kClones; ++k)
+        clones[k] = parent->clone(static_cast<std::uint64_t>(k));
+    util::ThreadPool pool(4);
+    pool.parallelFor(kClones, [&](std::size_t k) {
+        concurrent[k] =
+            drawSequence(*clones[k], kDraws,
+                         static_cast<std::uint64_t>(100 + k));
+    });
+
+    for (int k = 0; k < kClones; ++k) {
+        ASSERT_EQ(serial[k].size(), concurrent[k].size());
+        EXPECT_EQ(serial[k], concurrent[k]) << "clone " << k;
+        for (int l : concurrent[k]) {
+            ASSERT_GE(l, 0);
+            ASSERT_LT(l, 8);
+        }
+    }
+}
+
+TEST(SamplerClone, SoftwareSamplerIsolatedUnderParallelFor)
+{
+    expectCloneIsolation(
+        [] { return std::make_unique<core::SoftwareSampler>(); });
+}
+
+TEST(SamplerClone, RsuSamplerIsolatedUnderParallelFor)
+{
+    expectCloneIsolation([] {
+        return std::make_unique<core::RsuSampler>(
+            core::RsuConfig::newDesign());
+    });
+}
+
+TEST(SamplerClone, CdfSamplerIsolatedUnderParallelFor)
+{
+    expectCloneIsolation([] {
+        return std::make_unique<core::CdfLutSampler>(
+            std::make_unique<rng::Mt19937>(1234), 64);
+    });
+}
+
+TEST(SamplerClone, CdfClonesForkIndependentStreams)
+{
+    // Clones with different stream indices must not replay the parent
+    // stream (or each other's): their draw sequences should differ.
+    core::CdfLutSampler parent(
+        std::make_unique<rng::Xoshiro256>(55), 64);
+    auto c0 = parent.clone(0);
+    auto c1 = parent.clone(1);
+    auto s0 = drawSequence(*c0, 200, 1);
+    auto s1 = drawSequence(*c1, 200, 1);
+    EXPECT_NE(s0, s1);
+
+    // Using a clone must not advance the parent: a fresh clone(0)
+    // reproduces the first clone's draws.
+    auto c0b = parent.clone(0);
+    EXPECT_EQ(s0, drawSequence(*c0b, 200, 1));
+}
+
+TEST(SamplerClone, ClonePreservesConfiguration)
+{
+    core::RsuSampler rsu(core::RsuConfig::newDesign());
+    EXPECT_EQ(rsu.clone(3)->name(), rsu.name());
+
+    core::CdfLutSampler cdf(rng::Lfsr::makeLfsr19(9).split(0), 32);
+    auto cdf_clone = cdf.clone(2);
+    EXPECT_EQ(cdf_clone->name(), cdf.name());
+
+    core::SoftwareSampler sw;
+    EXPECT_EQ(sw.clone(0)->name(), sw.name());
+}
+
+// --------------------------------------------------------- rng splits
+
+TEST(RngSplit, ChildrenAreDeterministicAndDistinct)
+{
+    rng::Xoshiro256 parent(77);
+    auto a = parent.split(0);
+    auto b = parent.split(1);
+    auto a2 = parent.split(0);
+    EXPECT_EQ(a->next64(), a2->next64());
+    EXPECT_NE(a->next64(), b->next64());
+
+    rng::Mt19937 mt(5);
+    EXPECT_EQ(mt.split(4)->next64(), mt.split(4)->next64());
+    EXPECT_NE(mt.split(4)->next64(), mt.split(5)->next64());
+
+    auto lfsr = rng::Lfsr::makeLfsr19(3);
+    EXPECT_EQ(lfsr.split(2)->next64(), lfsr.split(2)->next64());
+    EXPECT_NE(lfsr.split(2)->next64(), lfsr.split(3)->next64());
+}
+
+} // namespace
