@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Scalar vs. batched row-kernel sampling throughput.
+ *
+ * PR 2 introduced sampleRow(): one call per color-phase row over a
+ * pixel-major energy plane, replacing per-pixel virtual sample()
+ * dispatch.  This bench isolates that kernel — energy planes are
+ * produced once from a realistic stereo labeling, then each sampler
+ * is timed over the identical planes through both entry points under
+ * an annealing-style temperature schedule.  Both paths start from the
+ * same seed, so their chosen labels must agree exactly (checked); the
+ * difference is time only.  Emits BENCH_sampler_kernel.json so later
+ * PRs can regress the kernel speedup.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/stereo.hh"
+#include "bench_common.hh"
+#include "core/sampler_cdf.hh"
+#include "img/image.hh"
+#include "mrf/problem.hh"
+
+namespace {
+
+using namespace retsim;
+
+/** Pixel-major conditional-energy planes for whole color-phase rows,
+ *  gathered once so timing excludes the energy stage. */
+struct PlaneSet
+{
+    int m = 0;
+    std::vector<std::vector<float>> energies; // one plane per row
+    std::vector<std::vector<int>> current;    // labels per row
+    std::size_t totalPixels = 0;
+};
+
+PlaneSet
+gatherPlanes(const mrf::MrfProblem &problem, std::uint64_t seed)
+{
+    PlaneSet set;
+    set.m = problem.numLabels();
+    img::LabelMap labels(problem.width(), problem.height(), 0);
+    rng::Xoshiro256 gen(seed);
+    for (int &l : labels.data())
+        l = static_cast<int>(
+            gen.nextBounded(static_cast<std::uint64_t>(set.m)));
+
+    for (int color = 0; color < 2; ++color) {
+        for (int y = 0; y < problem.height(); ++y) {
+            const int x0 = (y + color) % 2;
+            std::vector<float> plane(
+                static_cast<std::size_t>((problem.width() + 1) / 2) *
+                set.m);
+            int n = problem.conditionalEnergiesRow(labels, y, x0, 2,
+                                                   plane);
+            plane.resize(static_cast<std::size_t>(n) * set.m);
+            std::vector<int> cur(static_cast<std::size_t>(n));
+            for (int i = 0; i < n; ++i)
+                cur[static_cast<std::size_t>(i)] =
+                    labels(x0 + 2 * i, y);
+            set.totalPixels += static_cast<std::size_t>(n);
+            set.energies.push_back(std::move(plane));
+            set.current.push_back(std::move(cur));
+        }
+    }
+    return set;
+}
+
+/** Geometric annealing schedule, the solver's temperature profile. */
+std::vector<double>
+temperatureSchedule(int steps, double t0, double t_end)
+{
+    std::vector<double> t(static_cast<std::size_t>(steps));
+    for (int s = 0; s < steps; ++s) {
+        double frac = steps > 1
+                          ? static_cast<double>(s) / (steps - 1)
+                          : 0.0;
+        t[static_cast<std::size_t>(s)] =
+            t0 * std::pow(t_end / t0, frac);
+    }
+    return t;
+}
+
+struct KernelTiming
+{
+    double scalarNsPerSample = 0.0;
+    double batchedNsPerSample = 0.0;
+    bool outputsMatch = true;
+};
+
+/**
+ * Time one sampler through both entry points over the same planes and
+ * temperatures.  Fresh sampler + reseeded generator per pass keeps the
+ * draw sequences identical; the min over reps discards scheduler
+ * noise.  One untimed warm-up pass per path pre-builds conversion
+ * tables (shared LUT cache, rate tables) so neither path bills
+ * first-touch cost.
+ */
+KernelTiming
+timeKernel(const bench::SamplerFactory &factory, const PlaneSet &set,
+           const std::vector<double> &temps, int reps,
+           std::uint64_t seed)
+{
+    const std::size_t m = static_cast<std::size_t>(set.m);
+    const std::size_t samples = set.totalPixels * temps.size();
+
+    auto scalar_pass = [&](mrf::LabelSampler &s, rng::Rng &gen,
+                           std::vector<int> *record) {
+        for (double t : temps) {
+            for (std::size_t r = 0; r < set.energies.size(); ++r) {
+                const std::vector<float> &plane = set.energies[r];
+                const std::vector<int> &cur = set.current[r];
+                for (std::size_t p = 0; p < cur.size(); ++p) {
+                    int chosen = s.sample(
+                        std::span<const float>(plane.data() + p * m,
+                                               m),
+                        t, cur[p], gen);
+                    if (record)
+                        record->push_back(chosen);
+                }
+            }
+        }
+    };
+    auto batched_pass = [&](mrf::LabelSampler &s, rng::Rng &gen,
+                            std::vector<int> *record) {
+        std::vector<int> out;
+        for (double t : temps) {
+            for (std::size_t r = 0; r < set.energies.size(); ++r) {
+                const std::vector<int> &cur = set.current[r];
+                out.resize(cur.size());
+                s.sampleRow(set.energies[r], set.m, t, cur, out, gen);
+                if (record)
+                    record->insert(record->end(), out.begin(),
+                                   out.end());
+            }
+        }
+    };
+
+    KernelTiming result;
+    std::vector<int> scalar_labels, batched_labels;
+    scalar_labels.reserve(samples);
+    batched_labels.reserve(samples);
+
+    double scalar_best = 1e300, batched_best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        {
+            auto sampler = factory();
+            rng::Xoshiro256 warm(seed);
+            scalar_pass(*sampler, warm, nullptr); // warm-up, untimed
+            rng::Xoshiro256 gen(seed);
+            std::vector<int> *rec =
+                rep == 0 ? &scalar_labels : nullptr;
+            auto start = std::chrono::steady_clock::now();
+            scalar_pass(*sampler, gen, rec);
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - start;
+            scalar_best = std::min(scalar_best, dt.count());
+        }
+        {
+            auto sampler = factory();
+            rng::Xoshiro256 warm(seed);
+            batched_pass(*sampler, warm, nullptr); // warm-up, untimed
+            rng::Xoshiro256 gen(seed);
+            std::vector<int> *rec =
+                rep == 0 ? &batched_labels : nullptr;
+            auto start = std::chrono::steady_clock::now();
+            batched_pass(*sampler, gen, rec);
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - start;
+            batched_best = std::min(batched_best, dt.count());
+        }
+    }
+
+    result.scalarNsPerSample =
+        scalar_best * 1e9 / static_cast<double>(samples);
+    result.batchedNsPerSample =
+        batched_best * 1e9 / static_cast<double>(samples);
+    result.outputsMatch = scalar_labels == batched_labels;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::CliArgs args(argc, argv);
+    const int size = static_cast<int>(args.getInt("size", 192));
+    const int labels = static_cast<int>(args.getInt("labels", 16));
+    const int temps = static_cast<int>(args.getInt("temps", 8));
+    const double t0 = args.getDouble("t0", 48.0);
+    const double t_end = args.getDouble("tEnd", 0.8);
+    const int reps = static_cast<int>(args.getInt("reps", 3));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    const std::string out =
+        args.getString("out", "BENCH_sampler_kernel.json");
+    const int hw = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+
+    bench::printHeader(
+        "Sampling kernel throughput: per-pixel sample() vs. batched "
+        "sampleRow()",
+        "row-batched software substrate of the RSU-G array pipeline");
+
+    // Energy planes from a real stereo problem at the RSU's working
+    // label count, under the solver's annealing temperature profile.
+    img::StereoSceneSpec spec;
+    spec.width = size;
+    spec.height = size;
+    spec.numLabels = labels;
+    img::StereoScene scene = img::makeStereoScene(spec, seed + 17);
+    mrf::MrfProblem problem = apps::buildStereoProblem(scene);
+    PlaneSet planes = gatherPlanes(problem, seed);
+    // The stereo solver's full annealing profile (defaultStereoSolver)
+    // and its convergence tail — the final rungs where the probability
+    // cutoff zeroes most decay rates, which shifts the scalar/batched
+    // cost balance enough to deserve its own row.
+    std::vector<double> schedule =
+        temperatureSchedule(temps, t0, t_end);
+    const double tail_t0 = std::min(2.0, t0);
+    std::vector<double> tail_schedule =
+        temperatureSchedule(temps, tail_t0, std::min(tail_t0, t_end));
+    std::printf("grid %dx%d, %d labels, %zu pixels/pass, %d "
+                "temperatures, %d reps, %d hardware threads\n",
+                size, size, labels, planes.totalPixels, temps, reps,
+                hw);
+
+    struct Entry
+    {
+        const char *name;
+        bench::SamplerFactory factory;
+        const std::vector<double> *schedule;
+    };
+    Entry entries[] = {
+        {"software-float", bench::softwareFactory(), &schedule},
+        {"cdf-lut(mt19937)",
+         [] {
+             return std::make_unique<core::CdfLutSampler>(
+                 std::make_unique<rng::Mt19937>(42), 64);
+         },
+         &schedule},
+        {"rsu-new-design",
+         bench::rsuFactory(core::RsuConfig::newDesign()), &schedule},
+        {"rsu-new-design@anneal-tail",
+         bench::rsuFactory(core::RsuConfig::newDesign()),
+         &tail_schedule},
+        {"rsu-new-design-priority-tie",
+         [] {
+             // Fixed-priority tie arbiter (the cheap hardware choice):
+             // no tie draws, so the race consumes exactly one draw per
+             // firing label — the cheapest batched race mode.
+             core::RsuConfig cfg = core::RsuConfig::newDesign();
+             cfg.tieBreak = core::TieBreak::First;
+             return std::make_unique<core::RsuSampler>(cfg);
+         },
+         &schedule},
+    };
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f)
+        RETSIM_FATAL("cannot open ", out, " for writing");
+    std::fprintf(f,
+                 "{\n  \"bench\": \"sampler_kernel\",\n"
+                 "  \"batched\": true,\n"
+                 "  \"grid\": [%d, %d],\n  \"labels\": %d,\n"
+                 "  \"temperatures\": %d,\n  \"reps\": %d,\n"
+                 "  \"seed\": %llu,\n  \"hardware_threads\": %d,\n"
+                 "  \"samplers\": [",
+                 size, size, labels, temps, reps,
+                 static_cast<unsigned long long>(seed), hw);
+
+    bool first = true;
+    bool all_match = true;
+    for (const Entry &e : entries) {
+        KernelTiming t =
+            timeKernel(e.factory, planes, *e.schedule, reps, seed);
+        all_match = all_match && t.outputsMatch;
+        double speedup = t.scalarNsPerSample / t.batchedNsPerSample;
+        std::printf("  %-27s scalar %8.1f ns/sample   batched %8.1f "
+                    "ns/sample   %.2fx%s\n",
+                    e.name, t.scalarNsPerSample, t.batchedNsPerSample,
+                    speedup, t.outputsMatch ? "" : "  MISMATCH");
+        std::fprintf(f,
+                     "%s\n    {\"name\": \"%s\", "
+                     "\"t0\": %g, \"t_end\": %g, "
+                     "\"scalar_ns_per_sample\": %.2f, "
+                     "\"batched_ns_per_sample\": %.2f, "
+                     "\"speedup\": %.3f, \"outputs_match\": %s}",
+                     first ? "" : ",", e.name, e.schedule->front(),
+                     e.schedule->back(), t.scalarNsPerSample,
+                     t.batchedNsPerSample, speedup,
+                     t.outputsMatch ? "true" : "false");
+        first = false;
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out.c_str());
+    return all_match ? 0 : 1;
+}

@@ -137,6 +137,7 @@ main(int argc, char **argv)
         RETSIM_FATAL("cannot open ", out, " for writing");
     std::fprintf(f,
                  "{\n  \"bench\": \"solver_scaling\",\n"
+                 "  \"batched\": true,\n"
                  "  \"grid\": [%d, %d],\n  \"sweeps\": %d,\n"
                  "  \"seed\": %llu,\n  \"hardware_threads\": %d,\n"
                  "  \"sampler\": \"software-float\",\n"

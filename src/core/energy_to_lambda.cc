@@ -1,5 +1,6 @@
 #include "core/energy_to_lambda.hh"
 
+#include <bit>
 #include <cmath>
 
 #include "util/fixed_point.hh"
@@ -69,6 +70,81 @@ LambdaLut::updateCycles(unsigned interface_bits) const
 {
     RETSIM_ASSERT(interface_bits >= 1, "interface width must be >= 1");
     return (memoryBits() + interface_bits - 1) / interface_bits;
+}
+
+LambdaLutCache &
+LambdaLutCache::global()
+{
+    static LambdaLutCache cache;
+    return cache;
+}
+
+LambdaLutCache::Key
+LambdaLutCache::makeKey(const RsuConfig &cfg, double temperature)
+{
+    // Pack exactly the fields quantizeLambda() depends on; configs
+    // differing only in scaling/time parameters share a table.
+    std::uint64_t packed = cfg.energyBits;
+    packed = (packed << 8) | cfg.lambdaBits;
+    packed = (packed << 2) | static_cast<unsigned>(cfg.lambdaQuant);
+    packed = (packed << 1) | (cfg.probabilityCutoff ? 1u : 0u);
+    return {packed, std::bit_cast<std::uint64_t>(temperature)};
+}
+
+std::shared_ptr<const LambdaLut>
+LambdaLutCache::get(const RsuConfig &cfg, double temperature)
+{
+    RETSIM_ASSERT(cfg.lambdaQuant != LambdaQuant::Float,
+                  "no LUT exists in float-lambda mode");
+    Key key = makeKey(cfg, temperature);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = tables_.find(key);
+        if (it != tables_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Build outside the lock: table construction is the expensive part
+    // and concurrent stripes must not serialize on it.  A racing
+    // builder of the same key just loses to whoever inserts first.
+    auto built = std::make_shared<const LambdaLut>(cfg, temperature);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tables_.size() >= kMaxEntries)
+        tables_.clear();
+    auto [it, inserted] = tables_.emplace(key, std::move(built));
+    ++misses_;
+    return it->second;
+}
+
+std::size_t
+LambdaLutCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tables_.size();
+}
+
+std::uint64_t
+LambdaLutCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+LambdaLutCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+LambdaLutCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tables_.clear();
+    hits_ = 0;
+    misses_ = 0;
 }
 
 LambdaComparator::LambdaComparator(const RsuConfig &cfg,

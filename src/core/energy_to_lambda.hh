@@ -26,6 +26,10 @@
 #define RETSIM_CORE_ENERGY_TO_LAMBDA_HH
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/rsu_config.hh"
@@ -69,6 +73,55 @@ class LambdaLut
     RsuConfig cfg_;
     double temperature_;
     std::vector<std::uint32_t> table_;
+};
+
+/**
+ * Process-wide memoization of LambdaLut tables.
+ *
+ * A striped solver clones one RsuSampler per stripe and an annealing
+ * schedule revisits the same temperatures run after run, so without
+ * sharing every (clone, temperature) pair rebuilds an identical
+ * 2^Energy_bits-entry table — stripes x sweeps exp() evaluations that
+ * all produce the same bits.  The cache keys tables by exactly the
+ * inputs quantizeLambda() reads (Energy_bits, Lambda_bits, lambda
+ * quantization mode, probability cut-off, temperature — decay-rate
+ * scaling and the time parameters do not affect the table) and hands
+ * out shared_ptr<const LambdaLut> so concurrent stripes can read one
+ * table without lifetime coordination.
+ */
+class LambdaLutCache
+{
+  public:
+    /** The process-wide instance used by the samplers. */
+    static LambdaLutCache &global();
+
+    /** Fetch-or-build the table for (cfg, temperature). */
+    std::shared_ptr<const LambdaLut> get(const RsuConfig &cfg,
+                                         double temperature);
+
+    /** Tables currently held. */
+    std::size_t size() const;
+    /** get() calls answered without building. */
+    std::uint64_t hits() const;
+    /** get() calls that had to build a new table. */
+    std::uint64_t misses() const;
+
+    /** Drop all tables and reset counters (tests, memory pressure). */
+    void clear();
+
+  private:
+    /** (packed config fields, temperature bit pattern). */
+    using Key = std::pair<std::uint64_t, std::uint64_t>;
+    static Key makeKey(const RsuConfig &cfg, double temperature);
+
+    /** Tables held before the cache wipes itself; a safety valve for
+     *  pathological workloads that never repeat a temperature. */
+    static constexpr std::size_t kMaxEntries = 4096;
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<const LambdaLut>> tables_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
 };
 
 class LambdaComparator

@@ -56,5 +56,55 @@ CdfLutSampler::sample(std::span<const float> energies,
     return static_cast<int>(cdf_.size()) - 1;
 }
 
+void
+CdfLutSampler::sampleRow(std::span<const float> energies,
+                         int numLabels, double temperature,
+                         std::span<const int> current,
+                         std::span<int> out, rng::Rng &gen)
+{
+    (void)current;
+    (void)gen; // the entropy source under study is source_
+    const std::size_t n = out.size();
+    const std::size_t m = static_cast<std::size_t>(numLabels);
+    RETSIM_ASSERT(numLabels >= 1, "no labels to sample");
+    RETSIM_ASSERT(energies.size() == n * m && current.size() == n,
+                  "batch span sizes disagree");
+    RETSIM_ASSERT(numLabels <= maxLabels_, "label count ", numLabels,
+                  " exceeds CDF LUT capacity ", maxLabels_);
+    RETSIM_ASSERT(temperature > 0.0, "temperature must be positive");
+    if (n == 0)
+        return;
+
+    // The inversion consumes exactly one uniform per pixel from the
+    // device under study, so the whole batch can be drawn up front.
+    uniforms_.resize(n);
+    source_->fillUniform(uniforms_);
+
+    cdf_.resize(m);
+    for (std::size_t p = 0; p < n; ++p) {
+        const float *e = energies.data() + p * m;
+        float e_min = e[0];
+        for (std::size_t i = 0; i < m; ++i)
+            e_min = std::min(e_min, e[i]);
+
+        double acc = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+            acc += std::exp(-(static_cast<double>(e[i]) - e_min) /
+                            temperature);
+            cdf_[i] = acc;
+        }
+
+        double u = uniforms_[p] * acc;
+        int chosen = static_cast<int>(m) - 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (u < cdf_[i]) {
+                chosen = static_cast<int>(i);
+                break;
+            }
+        }
+        out[p] = chosen;
+    }
+}
+
 } // namespace core
 } // namespace retsim

@@ -39,6 +39,16 @@ class CdfLutSampler : public mrf::LabelSampler
     int sample(std::span<const float> energies, double temperature,
                int current, rng::Rng &gen) override;
 
+    /**
+     * Batched row kernel: bulk-draws the batch's uniforms from the
+     * owned entropy source (one per pixel, same order as the scalar
+     * loop) and inverts each pixel's cumulative table without the
+     * per-pixel virtual dispatch.  Bit-exact against the scalar loop.
+     */
+    void sampleRow(std::span<const float> energies, int numLabels,
+                   double temperature, std::span<const int> current,
+                   std::span<int> out, rng::Rng &gen) override;
+
     std::string name() const override;
 
     /** Clone with an independently forked entropy stream. */
@@ -54,7 +64,8 @@ class CdfLutSampler : public mrf::LabelSampler
   private:
     std::unique_ptr<rng::Rng> source_;
     int maxLabels_;
-    std::vector<double> cdf_; // scratch
+    std::vector<double> cdf_;      // scratch
+    std::vector<double> uniforms_; // scratch, batched draws
 };
 
 } // namespace core

@@ -10,6 +10,34 @@
 namespace retsim {
 namespace core {
 
+namespace {
+
+/**
+ * Quantize one pixel's label energies, staying in the double domain,
+ * and return the quantized minimum.  Value-identical to
+ * util::quantizeUnsigned() per label (negatives and NaN to 0,
+ * round-to-nearest-even, saturate at the top code) — every produced
+ * value is a small integer held exactly in a double — but branch-free
+ * and integer-conversion-free so the row vectorizes.
+ */
+inline double
+quantizeLabelRow(const float *e, std::size_t m, unsigned bits,
+                 double *q)
+{
+    const double top = static_cast<double>(util::maxUnsigned(bits));
+    double e_min = top;
+    for (std::size_t j = 0; j < m; ++j) {
+        double r = std::nearbyint(static_cast<double>(e[j]));
+        r = r > 0.0 ? r : 0.0; // negatives and NaN clamp to zero
+        r = r < top ? r : top;
+        q[j] = r;
+        e_min = e_min < r ? e_min : r;
+    }
+    return e_min;
+}
+
+} // namespace
+
 RsuSampler::RsuSampler(const RsuConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
@@ -21,6 +49,63 @@ RsuSampler::name() const
     return cfg_.describe();
 }
 
+void
+RsuSampler::mergeStats(const mrf::LabelSampler &other)
+{
+    const auto *rsu = dynamic_cast<const RsuSampler *>(&other);
+    if (!rsu)
+        return;
+    noSampleEvents_ += rsu->noSampleEvents_;
+    tieEvents_ += rsu->tieEvents_;
+    conversionRebuilds_ += rsu->conversionRebuilds_;
+    totalSamples_ += rsu->totalSamples_;
+}
+
+void
+RsuSampler::refreshConversion(double temperature)
+{
+    // Rebuild the energy-to-lambda conversion when the annealing
+    // temperature moves (the LUT rewrite / boundary-register refresh
+    // of Sec. IV-B.3).  The table itself is memoized process-wide, so
+    // stripe clones and repeated anneal schedules share one build.
+    if (temperature == cachedTemperature_)
+        return;
+    cachedTemperature_ = temperature;
+    ++conversionRebuilds_;
+    bool use_lut = cfg_.lambdaQuant != LambdaQuant::Float &&
+                   !cfg_.floatEnergy;
+    if (use_lut)
+        lut_ = LambdaLutCache::global().get(cfg_, temperature);
+}
+
+void
+RsuSampler::refreshRateTable(double temperature)
+{
+    if (temperature == rateTableTemperature_)
+        return;
+    rateTableTemperature_ = temperature;
+    const double lambda0 = cfg_.lambda0();
+    const std::size_t entries = std::size_t{1} << cfg_.energyBits;
+    rateTable_.resize(entries);
+    if (cfg_.lambdaQuant == LambdaQuant::Float) {
+        for (std::size_t e = 0; e < entries; ++e)
+            rateTable_[e] = realLambda(static_cast<double>(e),
+                                       temperature, cfg_) *
+                            lambda0;
+    } else {
+        for (std::size_t e = 0; e < entries; ++e)
+            rateTable_[e] =
+                static_cast<double>(lut_->lookup(e)) * lambda0;
+    }
+    // When no entry is zero (no probability cutoff bites at this
+    // temperature) every label of every pixel fires, which lets the
+    // row race skip the firing scan and fuse its gather into the draw
+    // loop.
+    rateTableAllPositive_ = std::all_of(
+        rateTable_.begin(), rateTable_.end(),
+        [](double r) { return r > 0.0; });
+}
+
 int
 RsuSampler::sample(std::span<const float> energies, double temperature,
                    int current, rng::Rng &gen)
@@ -29,17 +114,9 @@ RsuSampler::sample(std::span<const float> energies, double temperature,
     RETSIM_ASSERT(temperature > 0.0, "temperature must be positive");
     ++totalSamples_;
 
-    // Rebuild the energy-to-lambda conversion when the annealing
-    // temperature moves (the LUT rewrite / boundary-register refresh
-    // of Sec. IV-B.3).
+    refreshConversion(temperature);
     bool use_lut = cfg_.lambdaQuant != LambdaQuant::Float &&
                    !cfg_.floatEnergy;
-    if (temperature != cachedTemperature_) {
-        cachedTemperature_ = temperature;
-        ++conversionRebuilds_;
-        if (use_lut)
-            lut_ = std::make_unique<LambdaLut>(cfg_, temperature);
-    }
 
     const std::size_t m = energies.size();
     const double lambda0 = cfg_.lambda0();
@@ -95,6 +172,127 @@ RsuSampler::sample(std::span<const float> energies, double temperature,
     if (outcome.tie)
         ++tieEvents_;
     return outcome.winner;
+}
+
+void
+RsuSampler::sampleRow(std::span<const float> energies, int numLabels,
+                      double temperature, std::span<const int> current,
+                      std::span<int> out, rng::Rng &gen)
+{
+    const std::size_t n = current.size();
+    const std::size_t m = static_cast<std::size_t>(numLabels);
+    RETSIM_ASSERT(numLabels >= 1, "no labels to sample");
+    RETSIM_ASSERT(energies.size() == n * m && out.size() == n,
+                  "batch span sizes disagree");
+    RETSIM_ASSERT(temperature > 0.0, "temperature must be positive");
+    if (n == 0)
+        return;
+    totalSamples_ += n;
+
+    refreshConversion(temperature);
+    const double lambda0 = cfg_.lambda0();
+
+    if (!cfg_.floatEnergy &&
+        cfg_.timeQuant == TimeQuant::Binned &&
+        cfg_.tieBreak == TieBreak::Random) {
+        // Random tie-breaks force a per-pixel race (interleaved tie
+        // draws), so there is no bulk stage to feed a whole-plane rate
+        // buffer into.  Fuse the pipeline per pixel instead: quantize,
+        // gather rates from the per-temperature table, race — one
+        // m-sized buffer that never leaves L1.  A single downcast
+        // devirtualizes every draw of the row.
+        refreshRateTable(temperature);
+        const double *table = rateTable_.data();
+        auto *xo = dynamic_cast<rng::Xoshiro256 *>(&gen);
+        rates_.resize(m);
+        for (std::size_t p = 0; p < n; ++p) {
+            const float *e = energies.data() + p * m;
+            double e_min = quantizeLabelRow(e, m, cfg_.energyBits,
+                                            rates_.data());
+            if (!cfg_.decayRateScaling)
+                e_min = 0.0;
+            for (std::size_t j = 0; j < m; ++j)
+                rates_[j] = table[static_cast<std::size_t>(
+                    rates_[j] - e_min)];
+            RaceOutcome oc =
+                xo ? runTtfRaceBinned(rates_, cfg_, *xo)
+                   : runTtfRace(rates_, cfg_, gen);
+            if (oc.winner < 0) {
+                ++noSampleEvents_;
+                out[p] = current[p];
+                continue;
+            }
+            if (oc.tie)
+                ++tieEvents_;
+            out[p] = oc.winner;
+        }
+        return;
+    }
+
+    rates_.resize(n * m);
+    if (!cfg_.floatEnergy) {
+        // Quantized energies index the per-temperature rate table
+        // directly, so stages 1-3 are one quantization pass (the
+        // scalar path quantizes twice: once scanning for E_min, once
+        // converting) and one table load per label.
+        refreshRateTable(temperature);
+        const double *table = rateTable_.data();
+        for (std::size_t p = 0; p < n; ++p) {
+            const float *e = energies.data() + p * m;
+            double *r = rates_.data() + p * m;
+            double e_min =
+                quantizeLabelRow(e, m, cfg_.energyBits, r);
+            if (!cfg_.decayRateScaling)
+                e_min = 0.0;
+            for (std::size_t j = 0; j < m; ++j)
+                r[j] = table[static_cast<std::size_t>(r[j] - e_min)];
+        }
+        outcomes_.resize(n);
+        runTtfRaceRow(rates_, m, cfg_, gen, outcomes_, raceScratch_,
+                      rateTableAllPositive_);
+    } else {
+        // Float-energy escape: scaled energies are continuous, so the
+        // conversion stays per label; replicate the scalar arithmetic
+        // exactly.
+        for (std::size_t p = 0; p < n; ++p) {
+            const float *e = energies.data() + p * m;
+            double *r = rates_.data() + p * m;
+            double quantized_min = 0.0;
+            if (cfg_.decayRateScaling) {
+                double e_min = static_cast<double>(e[0]);
+                for (std::size_t j = 0; j < m; ++j)
+                    e_min = std::min(e_min,
+                                     static_cast<double>(e[j]));
+                quantized_min = std::max(e_min, 0.0);
+            }
+            for (std::size_t j = 0; j < m; ++j) {
+                double scaled =
+                    std::max(static_cast<double>(e[j]), 0.0) -
+                    quantized_min;
+                if (cfg_.lambdaQuant == LambdaQuant::Float)
+                    r[j] = realLambda(scaled, temperature, cfg_) *
+                           lambda0;
+                else
+                    r[j] = static_cast<double>(quantizeLambda(
+                               scaled, temperature, cfg_)) *
+                           lambda0;
+            }
+        }
+        outcomes_.resize(n);
+        runTtfRaceRow(rates_, m, cfg_, gen, outcomes_, raceScratch_);
+    }
+
+    for (std::size_t p = 0; p < n; ++p) {
+        const RaceOutcome &oc = outcomes_[p];
+        if (oc.winner < 0) {
+            ++noSampleEvents_;
+            out[p] = current[p];
+            continue;
+        }
+        if (oc.tie)
+            ++tieEvents_;
+        out[p] = oc.winner;
+    }
 }
 
 } // namespace core

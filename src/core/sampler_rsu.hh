@@ -27,6 +27,7 @@
 
 #include "core/energy_to_lambda.hh"
 #include "core/rsu_config.hh"
+#include "core/ttf_race.hh"
 #include "mrf/sampler.hh"
 
 namespace retsim {
@@ -40,7 +41,22 @@ class RsuSampler : public mrf::LabelSampler
     int sample(std::span<const float> energies, double temperature,
                int current, rng::Rng &gen) override;
 
+    /**
+     * Batched row kernel: quantizes the whole energy plane once (the
+     * scalar path quantizes every energy twice), resolves decay rates
+     * through a per-temperature energy->rate table derived from the
+     * shared LambdaLut cache, and races all pixels through
+     * runTtfRaceRow().  Bit-identical outcomes and RNG consumption to
+     * the scalar loop.
+     */
+    void sampleRow(std::span<const float> energies, int numLabels,
+                   double temperature, std::span<const int> current,
+                   std::span<int> out, rng::Rng &gen) override;
+
     std::string name() const override;
+
+    /** Fold a stripe clone's counters back into this sampler. */
+    void mergeStats(const mrf::LabelSampler &other) override;
 
     /**
      * Same device configuration, fresh conversion cache and counters.
@@ -72,10 +88,26 @@ class RsuSampler : public mrf::LabelSampler
     /** Lambda code (or real rate multiplier) for one scaled energy. */
     double rateFor(double scaled_energy, double temperature);
 
+    /** Swap in the conversion state for @p temperature (LUT via the
+     *  process-wide cache); counts rebuilds like the scalar path. */
+    void refreshConversion(double temperature);
+
+    /** Lazily (re)build the quantized-energy -> absolute-rate table
+     *  the batched kernel indexes; only exists when energies are
+     *  quantized (the index domain is then 2^Energy_bits). */
+    void refreshRateTable(double temperature);
+
     RsuConfig cfg_;
     double cachedTemperature_ = -1.0;
-    std::unique_ptr<LambdaLut> lut_;
+    std::shared_ptr<const LambdaLut> lut_;
     std::vector<double> rates_; // scratch
+
+    // ---- batched-path scratch (row kernel only) ----------------------
+    double rateTableTemperature_ = -1.0;
+    std::vector<double> rateTable_;      ///< quantized energy -> rate
+    bool rateTableAllPositive_ = false;  ///< no reachable rate is zero
+    std::vector<RaceOutcome> outcomes_;
+    RaceRowScratch raceScratch_;
 
     std::uint64_t noSampleEvents_ = 0;
     std::uint64_t tieEvents_ = 0;

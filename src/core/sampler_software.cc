@@ -29,5 +29,67 @@ SoftwareSampler::sample(std::span<const float> energies,
     return static_cast<int>(rng::sampleCategorical(gen, weights_));
 }
 
+void
+SoftwareSampler::sampleRow(std::span<const float> energies,
+                           int numLabels, double temperature,
+                           std::span<const int> current,
+                           std::span<int> out, rng::Rng &gen)
+{
+    (void)current;
+    const std::size_t n = out.size();
+    const std::size_t m = static_cast<std::size_t>(numLabels);
+    RETSIM_ASSERT(numLabels >= 1, "no labels to sample");
+    RETSIM_ASSERT(energies.size() == n * m && current.size() == n,
+                  "batch span sizes disagree");
+    RETSIM_ASSERT(temperature > 0.0, "temperature must be positive");
+    if (n == 0)
+        return;
+
+    // One categorical inversion consumes exactly one uniform, so the
+    // whole batch's draws can be prefetched in one bulk fill — the
+    // i-th buffered value is bit-identical to the draw the i-th
+    // scalar sample() call would have made.
+    uniforms_.resize(n);
+    gen.fillUniform(uniforms_);
+
+    weights_.resize(m);
+    for (std::size_t p = 0; p < n; ++p) {
+        const float *e = energies.data() + p * m;
+        float e_min = e[0];
+        for (std::size_t i = 0; i < m; ++i)
+            e_min = std::min(e_min, e[i]);
+
+        double total = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+            weights_[i] = std::exp(
+                -(static_cast<double>(e[i]) - e_min) / temperature);
+            total += weights_[i];
+        }
+
+        // Inverse-CDF scan, replicating sampleCategorical() decision
+        // for decision (including its end-of-range fallback).
+        double u = uniforms_[p] * total;
+        double acc = 0.0;
+        int chosen = static_cast<int>(m) - 1;
+        std::size_t i = 0;
+        for (; i < m; ++i) {
+            acc += weights_[i];
+            if (u < acc) {
+                chosen = static_cast<int>(i);
+                break;
+            }
+        }
+        if (i == m) {
+            for (std::size_t k = m; k-- > 0;) {
+                if (weights_[k] > 0.0) {
+                    chosen = static_cast<int>(k);
+                    break;
+                }
+            }
+        }
+        out[p] = chosen;
+    }
+}
+
 } // namespace core
 } // namespace retsim

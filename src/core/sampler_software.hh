@@ -29,6 +29,17 @@ class SoftwareSampler : public mrf::LabelSampler
     int sample(std::span<const float> energies, double temperature,
                int current, rng::Rng &gen) override;
 
+    /**
+     * Batched row kernel: one bulk uniform fill for the whole batch
+     * (the categorical inversion consumes exactly one draw per pixel),
+     * then the per-pixel Boltzmann weights and inverse-CDF scan with
+     * the virtual dispatch hoisted out of the pixel loop.  Bit-exact
+     * against the scalar loop.
+     */
+    void sampleRow(std::span<const float> energies, int numLabels,
+                   double temperature, std::span<const int> current,
+                   std::span<int> out, rng::Rng &gen) override;
+
     std::string name() const override { return "software-float"; }
 
     /** Stateless apart from scratch; the stream index is unused. */
@@ -41,6 +52,7 @@ class SoftwareSampler : public mrf::LabelSampler
 
   private:
     std::vector<double> weights_; // scratch, reused across calls
+    std::vector<double> uniforms_; // scratch, batched draws
 };
 
 } // namespace core

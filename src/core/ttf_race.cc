@@ -11,9 +11,17 @@ namespace core {
 
 namespace {
 
+/**
+ * Binned race, generic over the generator's static type.  With the
+ * abstract rng::Rng every draw is a virtual dispatch; instantiated on
+ * a concrete final generator (Xoshiro256) the per-draw advance inlines
+ * entirely.  Both instantiations run the same arithmetic on the same
+ * draws, so they are bit-identical.
+ */
+template <typename Gen>
 RaceOutcome
 raceBinned(std::span<const double> rates, const RsuConfig &cfg,
-           rng::Rng &gen)
+           Gen &gen)
 {
     const double t_max = static_cast<double>(cfg.tMaxBins());
     RaceOutcome out;
@@ -23,7 +31,8 @@ raceBinned(std::span<const double> rates, const RsuConfig &cfg,
     for (std::size_t i = 0; i < rates.size(); ++i) {
         if (!(rates[i] > 0.0))
             continue;
-        double t = rng::sampleExponential(gen, rates[i]);
+        // Inline sampleExponential(): same expression, same draw.
+        double t = -std::log(gen.nextDoubleOpenLow()) / rates[i];
         unsigned bin;
         if (t >= t_max) {
             if (cfg.truncationPolicy == TruncationPolicy::InfiniteTtf)
@@ -78,6 +87,72 @@ raceFloat(std::span<const double> rates, rng::Rng &gen)
     return out;
 }
 
+/**
+ * Selection scan of one pixel fed from the precomputed TTF buffer;
+ * replicates raceBinned()/raceFloat() decision for decision, with
+ * @p next walking the compacted firing-label order.  AllFire
+ * specializes away the per-label firing re-check for planes where no
+ * label was cut off (the common high-temperature case).
+ */
+template <bool AllFire>
+RaceOutcome
+selectFromTtfs(std::span<const double> rates,
+               std::span<const double> ttfs, std::size_t &next,
+               const RsuConfig &cfg)
+{
+    RaceOutcome out;
+    if (cfg.timeQuant == TimeQuant::Float) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+            if constexpr (!AllFire) {
+                if (!(rates[i] > 0.0))
+                    continue;
+            }
+            double t = ttfs[next++];
+            ++out.contenders;
+            if (t < best) {
+                best = t;
+                out.winner = static_cast<int>(i);
+            }
+        }
+        return out;
+    }
+
+    const double t_max = static_cast<double>(cfg.tMaxBins());
+    unsigned best_bin = 0;
+    unsigned tied = 0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        if constexpr (!AllFire) {
+            if (!(rates[i] > 0.0))
+                continue;
+        }
+        double t = ttfs[next++];
+        unsigned bin;
+        if (t >= t_max) {
+            if (cfg.truncationPolicy == TruncationPolicy::InfiniteTtf)
+                continue;
+            bin = cfg.tMaxBins();
+        } else {
+            bin = static_cast<unsigned>(t) + 1;
+        }
+        ++out.contenders;
+        if (out.winner < 0 || bin < best_bin) {
+            out.winner = static_cast<int>(i);
+            best_bin = bin;
+            tied = 1;
+        } else if (bin == best_bin) {
+            ++tied;
+            if (cfg.tieBreak == TieBreak::Last)
+                out.winner = static_cast<int>(i);
+            // TieBreak::First keeps the earlier label; Random never
+            // reaches this path (it draws, so it races per pixel).
+        }
+    }
+    out.winningBin = out.winner >= 0 ? best_bin : 0;
+    out.tie = tied > 1;
+    return out;
+}
+
 } // namespace
 
 RaceOutcome
@@ -89,6 +164,98 @@ runTtfRace(std::span<const double> rates, const RsuConfig &cfg,
         return raceFloat(rates, gen);
     return raceBinned(rates, cfg, gen);
 }
+
+RaceOutcome
+runTtfRaceBinned(std::span<const double> rates, const RsuConfig &cfg,
+                 rng::Xoshiro256 &gen)
+{
+    return raceBinned(rates, cfg, gen);
+}
+
+void
+runTtfRaceRow(std::span<const double> rates, std::size_t m,
+              const RsuConfig &cfg, rng::Rng &gen,
+              std::span<RaceOutcome> out, RaceRowScratch &scratch,
+              bool allFireHint)
+{
+    RETSIM_ASSERT(m >= 1, "race needs at least one label");
+    const std::size_t count = out.size();
+    RETSIM_ASSERT(rates.size() == count * m,
+                  "rate plane size mismatch");
+
+    // Random tie-breaks interleave nextBounded() draws between TTF
+    // draws, so bulk-filling uniforms would reassign raw RNG outputs
+    // to different purposes.  Keep the scalar race per pixel there.
+    if (cfg.timeQuant == TimeQuant::Binned &&
+        cfg.tieBreak == TieBreak::Random) {
+        // One downcast buys a devirtualized, fully inlined draw loop
+        // for the whole row — the scalar path cannot amortize this.
+        if (auto *xo = dynamic_cast<rng::Xoshiro256 *>(&gen)) {
+            for (std::size_t i = 0; i < count; ++i)
+                out[i] =
+                    raceBinned(rates.subspan(i * m, m), cfg, *xo);
+        } else {
+            for (std::size_t i = 0; i < count; ++i)
+                out[i] =
+                    raceBinned(rates.subspan(i * m, m), cfg, gen);
+        }
+        return;
+    }
+
+    // Deterministic draw count: exactly one uniform per firing label,
+    // in pixel-major label order.  Compact those rates, draw the whole
+    // plane's uniforms in one bulk fill, convert with the fused
+    // -log(u)/lambda kernel, then scan each pixel's selection.
+    std::size_t firing = rates.size();
+    std::span<const double> firing_rates = rates;
+    if (!allFireHint) {
+        // One branchless pass both counts the firing labels and
+        // compacts their rates (each rate is stored at the running
+        // count, which only advances past positive rates).
+        scratch.rates.resize(rates.size());
+        firing = 0;
+        for (std::size_t k = 0; k < rates.size(); ++k) {
+            scratch.rates[firing] = rates[k];
+            firing += rates[k] > 0.0 ? 1u : 0u;
+        }
+        if (firing != rates.size())
+            firing_rates = std::span<const double>(
+                scratch.rates.data(), firing);
+        // else: nothing was cut off and the plane itself is already
+        // the compacted rate list.
+    }
+    scratch.t.resize(firing);
+    if (auto *xo = dynamic_cast<rng::Xoshiro256 *>(&gen)) {
+        // Concrete generator: one fused draw->-log(u)/lambda pass with
+        // every advance inlined and no intermediate uniform buffer.
+        // Raw outputs are consumed in the same sequential order as
+        // fillExponentials(), so the TTFs are bit-identical.
+        for (std::size_t i = 0; i < firing; ++i) {
+            double u =
+                (static_cast<double>(xo->next64() >> 11) + 1.0) *
+                0x1.0p-53;
+            scratch.t[i] = -std::log(u) / firing_rates[i];
+        }
+    } else {
+        rng::fillExponentials(gen, firing_rates, scratch.t,
+                              scratch.u);
+    }
+
+    std::size_t next = 0;
+    if (firing == rates.size()) {
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = selectFromTtfs<true>(rates.subspan(i * m, m),
+                                          scratch.t, next, cfg);
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = selectFromTtfs<false>(rates.subspan(i * m, m),
+                                           scratch.t, next, cfg);
+    }
+    RETSIM_ASSERT(next == scratch.t.size(),
+                  "row race consumed ", next, " of ",
+                  scratch.t.size(), " TTF draws");
+}
+
 
 } // namespace core
 } // namespace retsim

@@ -45,6 +45,50 @@ struct RaceOutcome
 RaceOutcome runTtfRace(std::span<const double> rates,
                        const RsuConfig &cfg, rng::Rng &gen);
 
+/**
+ * Binned race against a concrete Xoshiro256: same draws and arithmetic
+ * as runTtfRace() in binned mode (bit-identical outcome and generator
+ * state), but every per-draw generator advance inlines instead of
+ * dispatching virtually.  Batched kernels downcast once per row and
+ * then race each pixel through this entry.
+ */
+RaceOutcome runTtfRaceBinned(std::span<const double> rates,
+                             const RsuConfig &cfg,
+                             rng::Xoshiro256 &gen);
+
+/** Caller-owned scratch buffers for runTtfRaceRow (kept across calls
+ *  so the hot path never allocates). */
+struct RaceRowScratch
+{
+    std::vector<double> rates; ///< compacted rates of firing labels
+    std::vector<double> u;     ///< bulk uniform draws
+    std::vector<double> t;     ///< fused exponential TTFs
+};
+
+/**
+ * Run one race per pixel over a pixel-major rate plane (@p rates holds
+ * count x @p m entries; pixel i's labels start at i * m).
+ *
+ * Bit-exact contract: outcomes and RNG consumption are identical to
+ * calling runTtfRace() once per pixel in order.  When the race mode
+ * draws nothing but the per-label exponentials (float time, or binned
+ * time with a deterministic tie-break), the draws of the whole plane
+ * are bulk-filled and converted by one fused -log(u)/lambda kernel;
+ * binned mode with random tie-breaks interleaves tie draws with TTF
+ * draws, so that mode falls back to the per-pixel race to preserve the
+ * draw order.
+ *
+ * @p allFireHint asserts that every rate in the plane is positive (no
+ * label is cut off), letting the bulk path skip its firing scan.
+ * Callers must pass true only when that genuinely holds — the flag
+ * decides which labels are assumed to consume draws, so a wrong value
+ * breaks the draw-order contract.
+ */
+void runTtfRaceRow(std::span<const double> rates, std::size_t m,
+                   const RsuConfig &cfg, rng::Rng &gen,
+                   std::span<RaceOutcome> out, RaceRowScratch &scratch,
+                   bool allFireHint = false);
+
 } // namespace core
 } // namespace retsim
 

@@ -36,6 +36,66 @@ struct StripeCounters
     std::uint64_t labelChanges = 0;
 };
 
+/**
+ * Caller-owned buffers for one executor's row batches: the energy
+ * plane the problem writes and the label vectors the sampler reads
+ * and fills.  Sized once for the widest possible color-phase row.
+ */
+struct RowArena
+{
+    std::vector<float> energies;
+    std::vector<int> current;
+    std::vector<int> chosen;
+
+    RowArena(int width, int m)
+        : energies(static_cast<std::size_t>((width + 1) / 2) * m),
+          current(static_cast<std::size_t>((width + 1) / 2)),
+          chosen(static_cast<std::size_t>((width + 1) / 2))
+    {
+    }
+};
+
+/**
+ * Update one color-phase row through the batched sampler path and
+ * return the per-row counter deltas.  Same-color pixels share no
+ * edges, so gathering the whole row's conditionals before any write
+ * is exactly what the scalar pixel loop computed.
+ */
+StripeCounters
+updateRow(const MrfProblem &problem, LabelSampler &sampler,
+          img::LabelMap &labels, int y, int color, double temperature,
+          RowArena &arena, rng::Rng &gen)
+{
+    StripeCounters c;
+    const int m = problem.numLabels();
+    const int x0 = (y + color) % 2;
+    const int n = problem.conditionalEnergiesRow(labels, y, x0, 2,
+                                                 arena.energies);
+    if (n == 0)
+        return c;
+    for (int i = 0; i < n; ++i)
+        arena.current[static_cast<std::size_t>(i)] =
+            labels(x0 + 2 * i, y);
+
+    std::span<const int> current(arena.current.data(),
+                                 static_cast<std::size_t>(n));
+    std::span<int> chosen(arena.chosen.data(),
+                          static_cast<std::size_t>(n));
+    sampler.sampleRow(
+        std::span<const float>(arena.energies.data(),
+                               static_cast<std::size_t>(n) * m),
+        m, temperature, current, chosen, gen);
+
+    for (int i = 0; i < n; ++i) {
+        labels(x0 + 2 * i, y) = chosen[static_cast<std::size_t>(i)];
+        if (chosen[static_cast<std::size_t>(i)] !=
+            current[static_cast<std::size_t>(i)])
+            ++c.labelChanges;
+    }
+    c.pixelUpdates = static_cast<std::uint64_t>(n);
+    return c;
+}
+
 } // namespace
 
 int
@@ -72,24 +132,17 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
     // historical (pre-striping) behavior.  Taken only when neither a
     // stripe decomposition nor threading was requested.
     if (config_.threads == 1 && config_.stripes == 0) {
-        std::vector<float> energies(m);
+        RowArena arena(problem.width(), m);
         for (int s = 0; s < config_.annealing.sweeps; ++s) {
             double temperature = config_.annealing.temperature(s);
             for (int color = 0; color < 2; ++color) {
                 for (int y = 0; y < problem.height(); ++y) {
-                    for (int x = (y + color) % 2;
-                         x < problem.width(); x += 2) {
-                        problem.conditionalEnergies(labels, x, y,
-                                                    energies);
-                        int current = labels(x, y);
-                        int chosen = sampler.sample(
-                            energies, temperature, current, gen);
-                        labels(x, y) = chosen;
-                        if (trace) {
-                            ++trace->pixelUpdates;
-                            if (chosen != current)
-                                ++trace->labelChanges;
-                        }
+                    StripeCounters c =
+                        updateRow(problem, sampler, labels, y, color,
+                                  temperature, arena, gen);
+                    if (trace) {
+                        trace->pixelUpdates += c.pixelUpdates;
+                        trace->labelChanges += c.labelChanges;
                     }
                 }
             }
@@ -128,8 +181,8 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
 
     std::vector<std::unique_ptr<LabelSampler>> workers(
         static_cast<std::size_t>(stripes));
-    std::vector<std::vector<float>> scratch(
-        static_cast<std::size_t>(stripes), std::vector<float>(m));
+    std::vector<RowArena> scratch(static_cast<std::size_t>(stripes),
+                                  RowArena(width, m));
     for (int k = 0; k < stripes; ++k)
         workers[k] = sampler.clone(static_cast<std::uint64_t>(k));
 
@@ -145,19 +198,14 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
         rng::Xoshiro256 stripe_gen(
             stripeStreamSeed(config_.seed, sweep, color, k));
         LabelSampler &stripe_sampler = *workers[k];
-        std::span<float> energies(scratch[k]);
+        RowArena &arena = scratch[k];
         StripeCounters &c = counters[k];
         for (int y = y0; y < y1; ++y) {
-            for (int x = (y + color) % 2; x < width; x += 2) {
-                problem.conditionalEnergies(labels, x, y, energies);
-                int current = labels(x, y);
-                int chosen = stripe_sampler.sample(
-                    energies, temperature, current, stripe_gen);
-                labels(x, y) = chosen;
-                ++c.pixelUpdates;
-                if (chosen != current)
-                    ++c.labelChanges;
-            }
+            StripeCounters rc =
+                updateRow(problem, stripe_sampler, labels, y, color,
+                          temperature, arena, stripe_gen);
+            c.pixelUpdates += rc.pixelUpdates;
+            c.labelChanges += rc.labelChanges;
         }
     };
 
@@ -191,6 +239,12 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
             trace->temperaturePerSweep.push_back(temperature);
         }
     }
+
+    // Fold every stripe clone's instrumentation counters back into
+    // the caller's sampler so striped runs report the same totals
+    // (samples, no-sample events, ties, rebuilds) as serial ones.
+    for (int k = 0; k < stripes; ++k)
+        sampler.mergeStats(*workers[k]);
     return labels;
 }
 

@@ -21,6 +21,16 @@
  * fixed seed and stripe count, independent of thread count and OS
  * scheduling.  threads == 1 && stripes == 0 runs the historical
  * single-stream serial path.
+ *
+ * Both paths sample through the batched row kernel: each color-phase
+ * row's conditionals are produced into a per-executor arena
+ * (MrfProblem::conditionalEnergiesRow) and handed to
+ * LabelSampler::sampleRow in one call.  Batched kernels honor the
+ * scalar RNG draw order, so serial and striped outputs are
+ * byte-identical to the per-pixel implementation they replaced; the
+ * stripe clones' instrumentation counters are folded back into the
+ * caller's sampler (LabelSampler::mergeStats) when a striped run
+ * finishes.
  */
 
 #ifndef RETSIM_MRF_CHECKERBOARD_HH

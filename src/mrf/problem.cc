@@ -77,6 +77,58 @@ MrfProblem::conditionalEnergies(const img::LabelMap &labels, int x,
     }
 }
 
+int
+MrfProblem::conditionalEnergiesRow(const img::LabelMap &labels, int y,
+                                   int x0, int xStep,
+                                   std::span<float> out) const
+{
+    RETSIM_ASSERT(y >= 0 && y < height_, "row ", y, " out of range");
+    RETSIM_ASSERT(x0 >= 0 && xStep >= 1, "bad row phase");
+    const int m = numLabels();
+    const int count = x0 < width_ ? (width_ - x0 + xStep - 1) / xStep
+                                  : 0;
+    RETSIM_ASSERT(out.size() >= static_cast<std::size_t>(count) * m,
+                  "row arena too small: ", out.size(), " floats for ",
+                  count, " pixels x ", m, " labels");
+
+    // Fused interior path: on an interior row of the 4-neighborhood
+    // every pixel that is also x-interior needs no bounds checks, and
+    // the up/down label rows and the singleton base advance by fixed
+    // strides.  The addition order (singleton, left, right, up, down)
+    // matches conditionalEnergies() bit for bit.
+    if (neighborhood_ == Neighborhood::Four && y > 0 &&
+        y + 1 < height_) {
+        const int *row = &labels(0, y);
+        const int *up = &labels(0, y - 1);
+        const int *down = &labels(0, y + 1);
+        int n = 0;
+        for (int x = x0; x < width_; x += xStep, ++n) {
+            std::span<float> o = out.subspan(
+                static_cast<std::size_t>(n) * m,
+                static_cast<std::size_t>(m));
+            if (x == 0 || x + 1 == width_) {
+                conditionalEnergies(labels, x, y, o);
+                continue;
+            }
+            const float *s = singleton_.data() + index(x, y, 0);
+            const float *rl = pairwise_.row(row[x - 1]);
+            const float *rr = pairwise_.row(row[x + 1]);
+            const float *ru = pairwise_.row(up[x]);
+            const float *rd = pairwise_.row(down[x]);
+            for (int i = 0; i < m; ++i)
+                o[i] = s[i] + rl[i] + rr[i] + ru[i] + rd[i];
+        }
+        return n;
+    }
+
+    int n = 0;
+    for (int x = x0; x < width_; x += xStep, ++n)
+        conditionalEnergies(labels, x, y,
+                            out.subspan(static_cast<std::size_t>(n) * m,
+                                        static_cast<std::size_t>(m)));
+    return n;
+}
+
 namespace {
 
 /** Below this pixel count the fork/join overhead beats the win. */

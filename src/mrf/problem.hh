@@ -73,6 +73,23 @@ class MrfProblem
                              std::span<float> out) const;
 
     /**
+     * Batched producer for the chromatic solvers: write the
+     * conditional energies of pixels (x0, y), (x0 + xStep, y), ... of
+     * one row into a caller-owned pixel-major arena (numLabels floats
+     * per pixel, same layout LabelSampler::sampleRow consumes).  Each
+     * pixel's energies are bit-identical to a conditionalEnergies()
+     * call; interior rows run a fused kernel with the per-neighbor
+     * bounds checks and the singleton/pairwise row addressing hoisted
+     * out of the pixel loop.
+     *
+     * @return The number of pixels written (out must hold at least
+     *         that many times numLabels entries).
+     */
+    int conditionalEnergiesRow(const img::LabelMap &labels, int y,
+                               int x0, int xStep,
+                               std::span<float> out) const;
+
+    /**
      * Total energy of a complete labeling (for convergence checks).
      * Large grids are reduced as one partial sum per row (computed on
      * the global thread pool) accumulated in row order, so the value

@@ -1,0 +1,28 @@
+#include "mrf/sampler.hh"
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace mrf {
+
+void
+LabelSampler::sampleRow(std::span<const float> energies, int numLabels,
+                        double temperature,
+                        std::span<const int> current,
+                        std::span<int> out, rng::Rng &gen)
+{
+    const std::size_t n = current.size();
+    const std::size_t m = static_cast<std::size_t>(numLabels);
+    RETSIM_ASSERT(numLabels >= 1, "batch needs at least one label");
+    RETSIM_ASSERT(energies.size() == n * m && out.size() == n,
+                  "batch span sizes disagree: ", energies.size(),
+                  " energies for ", n, " pixels x ", m, " labels");
+    // Reference scalar loop: the draw-order contract every batched
+    // override must reproduce bit for bit.
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = sample(energies.subspan(i * m, m), temperature,
+                        current[i], gen);
+}
+
+} // namespace mrf
+} // namespace retsim

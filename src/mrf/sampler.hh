@@ -42,8 +42,50 @@ class LabelSampler
                        double temperature, int current,
                        rng::Rng &gen) = 0;
 
+    /**
+     * Sample every pixel of one batch (typically the active pixels of
+     * one color-phase row) in a single call.
+     *
+     * Semantically identical to calling sample() once per pixel in
+     * order — implementations MUST consume RNG draws from @p gen (and
+     * any internal entropy source) in exactly the per-pixel, per-label
+     * order of that scalar loop, and leave the generator in the same
+     * state, so batched and scalar execution produce bit-identical
+     * label chains for a fixed seed.  The default implementation is
+     * that scalar loop; SoftwareSampler, CdfLutSampler and RsuSampler
+     * override it with fused kernels (bulk uniform draws, shared
+     * conversion tables, no per-pixel virtual dispatch).
+     *
+     * @param energies Pixel-major conditional energies: entry
+     *        i * numLabels + j is label j of pixel i.  Size must be
+     *        current.size() * numLabels.
+     * @param numLabels Labels per pixel (m).
+     * @param temperature Shared annealing temperature of the batch.
+     * @param current Current label of each pixel.
+     * @param out Chosen label of each pixel; may not alias @p current.
+     * @param gen Entropy source.
+     */
+    virtual void sampleRow(std::span<const float> energies,
+                           int numLabels, double temperature,
+                           std::span<const int> current,
+                           std::span<int> out, rng::Rng &gen);
+
     /** Human-readable implementation name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Fold the instrumentation counters of @p other (typically a
+     * stripe-local clone() of this sampler that just finished its
+     * share of a parallel solve) into this sampler, so striped runs
+     * report the same trace totals as serial ones.  Samplers without
+     * counters ignore the call; implementations must tolerate @p other
+     * being of a different dynamic type (and then do nothing).
+     */
+    virtual void
+    mergeStats(const LabelSampler &other)
+    {
+        (void)other;
+    }
 
     /**
      * Create an independent sampler of the same configuration with

@@ -14,6 +14,26 @@ sampleExponential(Rng &gen, double rate)
     return -std::log(gen.nextDoubleOpenLow()) / rate;
 }
 
+void
+exponentialsFromUniforms(std::span<const double> u,
+                         std::span<const double> rates,
+                         std::span<double> out)
+{
+    RETSIM_ASSERT(u.size() == rates.size() && u.size() == out.size(),
+                  "batched exponential span size mismatch");
+    for (std::size_t i = 0; i < u.size(); ++i)
+        out[i] = -std::log(u[i]) / rates[i];
+}
+
+void
+fillExponentials(Rng &gen, std::span<const double> rates,
+                 std::span<double> out, std::vector<double> &scratch)
+{
+    scratch.resize(rates.size());
+    gen.fillUniformOpenLow(scratch);
+    exponentialsFromUniforms(scratch, rates, out);
+}
+
 std::size_t
 sampleCategorical(Rng &gen, const std::vector<double> &weights)
 {

@@ -13,6 +13,7 @@
 #define RETSIM_RNG_DISTRIBUTIONS_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rng/rng.hh"
@@ -22,6 +23,27 @@ namespace rng {
 
 /** Draw from Exp(rate): p(t) = rate * exp(-rate * t), rate > 0. */
 double sampleExponential(Rng &gen, double rate);
+
+/**
+ * Fused batched inverse-CDF exponential: out[i] = -log(u[i]) /
+ * rates[i], element for element the same arithmetic as
+ * sampleExponential(), so a bulk-filled uniform buffer yields
+ * bit-identical samples to per-call draws in the same order.  All
+ * rates must be positive.
+ */
+void exponentialsFromUniforms(std::span<const double> u,
+                              std::span<const double> rates,
+                              std::span<double> out);
+
+/**
+ * Convenience wrapper: bulk-draw uniforms from @p gen (in exactly the
+ * order sampleExponential() would have consumed them) and convert in
+ * one fused pass.  @p scratch is caller-owned to keep the hot path
+ * allocation-free; it is resized as needed.
+ */
+void fillExponentials(Rng &gen, std::span<const double> rates,
+                      std::span<double> out,
+                      std::vector<double> &scratch);
 
 /**
  * Draw a label from an unnormalized weight vector by inverse-CDF over

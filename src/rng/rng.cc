@@ -18,6 +18,20 @@ Rng::nextBounded(std::uint64_t bound)
     }
 }
 
+void
+Rng::fillUniform(std::span<double> out)
+{
+    for (double &u : out)
+        u = nextDouble();
+}
+
+void
+Rng::fillUniformOpenLow(std::span<double> out)
+{
+    for (double &u : out)
+        u = nextDoubleOpenLow();
+}
+
 std::uint64_t
 SplitMix64::next64()
 {
@@ -33,16 +47,6 @@ SplitMix64::split(std::uint64_t stream) const
     return std::make_unique<SplitMix64>(streamSeed(state_, stream));
 }
 
-namespace {
-
-constexpr std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 Xoshiro256::Xoshiro256(std::uint64_t seed)
 {
     SplitMix64 sm(seed);
@@ -50,20 +54,22 @@ Xoshiro256::Xoshiro256(std::uint64_t seed)
         word = sm.next64();
 }
 
-std::uint64_t
-Xoshiro256::next64()
+void
+Xoshiro256::fillUniform(std::span<double> out)
 {
-    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    std::uint64_t t = s_[1] << 17;
+    // Qualified calls devirtualize the per-draw advance, so the whole
+    // buffer costs one virtual dispatch.
+    for (double &u : out)
+        u = static_cast<double>(Xoshiro256::next64() >> 11) *
+            0x1.0p-53;
+}
 
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
+void
+Xoshiro256::fillUniformOpenLow(std::span<double> out)
+{
+    for (double &u : out)
+        u = (static_cast<double>(Xoshiro256::next64() >> 11) + 1.0) *
+            0x1.0p-53;
 }
 
 std::unique_ptr<Rng>

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,19 @@ class Rng
 
     /** Uniform integer in [0, bound); bound must be nonzero. */
     std::uint64_t nextBounded(std::uint64_t bound);
+
+    /**
+     * Fill @p out with uniform doubles in [0, 1) — out[i] is exactly
+     * the value the i-th nextDouble() call would have produced, so a
+     * bulk-filled buffer consumed front to back is bit-identical to
+     * per-call draws.  Concrete generators override this with a
+     * non-virtual inner loop so batched samplers pay one dispatch per
+     * row instead of one per draw.
+     */
+    virtual void fillUniform(std::span<double> out);
+
+    /** Bulk counterpart of nextDoubleOpenLow(): uniforms in (0, 1]. */
+    virtual void fillUniformOpenLow(std::span<double> out);
 };
 
 /**
@@ -90,19 +104,47 @@ class SplitMix64 : public Rng
  * xoshiro256** 1.0 (Blackman & Vigna) — the project's default fast
  * generator for software baselines and device models.
  */
-class Xoshiro256 : public Rng
+class Xoshiro256 final : public Rng
 {
   public:
     explicit Xoshiro256(std::uint64_t seed);
 
-    std::uint64_t next64() override;
+    /**
+     * Defined inline (and the class is final) so draws through a
+     * concrete Xoshiro256 reference devirtualize and inline — batched
+     * kernels downcast once per row and then pay nothing per draw.
+     */
+    std::uint64_t
+    next64() override
+    {
+        std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
+
     std::string name() const override { return "xoshiro256**"; }
     std::unique_ptr<Rng> split(std::uint64_t stream) const override;
+    void fillUniform(std::span<double> out) override;
+    void fillUniformOpenLow(std::span<double> out) override;
 
     /** Advance 2^128 steps; yields an independent parallel stream. */
     void jump();
 
   private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> s_;
 };
 
@@ -114,6 +156,21 @@ class Mt19937 : public Rng
 
     std::uint64_t next64() override { return engine_(); }
     std::string name() const override { return "mt19937"; }
+
+    void
+    fillUniform(std::span<double> out) override
+    {
+        for (double &u : out)
+            u = static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+    }
+
+    void
+    fillUniformOpenLow(std::span<double> out) override
+    {
+        for (double &u : out)
+            u = (static_cast<double>(engine_() >> 11) + 1.0) *
+                0x1.0p-53;
+    }
 
     std::unique_ptr<Rng>
     split(std::uint64_t stream) const override

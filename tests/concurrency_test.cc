@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/denoising.hh"
+#include "core/energy_to_lambda.hh"
 #include "core/sampler_cdf.hh"
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
@@ -274,6 +275,35 @@ TEST(SamplerClone, ClonePreservesConfiguration)
 
     core::SoftwareSampler sw;
     EXPECT_EQ(sw.clone(0)->name(), sw.name());
+}
+
+// ----------------------------------------------------- LUT cache races
+
+TEST(LambdaLutCacheConcurrency, ConcurrentGetsShareOneTable)
+{
+    core::LambdaLutCache &cache = core::LambdaLutCache::global();
+    cache.clear();
+    const core::RsuConfig cfg = core::RsuConfig::newDesign();
+
+    // Hammer the cache from many workers over a small temperature set,
+    // as striped solver clones do at the start of each sweep.  Every
+    // worker must end up holding the same table per temperature, with
+    // no torn builds (TSan validates the locking discipline).
+    util::ThreadPool pool(7);
+    constexpr int kWorkers = 48;
+    std::vector<std::shared_ptr<const core::LambdaLut>> seen(kWorkers);
+    pool.parallelFor(kWorkers, [&](std::size_t w) {
+        const double t = 0.5 + static_cast<double>(w % 4);
+        auto lut = cache.get(cfg, t);
+        // Touch the table to surface incomplete publication.
+        (void)lut->lookup(lut->entries() - 1);
+        seen[w] = std::move(lut);
+    });
+
+    for (int w = 0; w < kWorkers; ++w)
+        EXPECT_EQ(seen[w].get(), seen[w % 4].get());
+    EXPECT_EQ(cache.size(), 4u);
+    cache.clear();
 }
 
 // --------------------------------------------------------- rng splits
