@@ -15,6 +15,7 @@
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
 #include "img/pgm_io.hh"
+#include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
 #include "util/cli.hh"
 
@@ -50,6 +51,8 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    obs::TelemetryScope telemetry =
+        obs::telemetryFromCli(args, "denoising");
     const double sigma = args.getDouble("sigma", 25.0);
     const int sweeps = static_cast<int>(args.getInt("sweeps", 40));
     const std::string outdir = args.getString("outdir", ".");

@@ -16,6 +16,7 @@
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
 #include "img/pgm_io.hh"
+#include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
 #include "util/cli.hh"
 
@@ -25,6 +26,8 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    obs::TelemetryScope telemetry =
+        obs::telemetryFromCli(args, "image_segmentation");
     const int segments = static_cast<int>(args.getInt("segments", 4));
     const int sweeps = static_cast<int>(args.getInt("sweeps", 30));
     const std::uint64_t seed = args.getInt("seed", 9001);

@@ -17,6 +17,7 @@
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
 #include "img/pgm_io.hh"
+#include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
 #include "util/cli.hh"
 
@@ -45,6 +46,8 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    obs::TelemetryScope telemetry =
+        obs::telemetryFromCli(args, "motion_estimation");
     const std::string which = args.getString("scene", "venus");
     const int sweeps = static_cast<int>(args.getInt("sweeps", 150));
     const std::string outdir = args.getString("outdir", ".");

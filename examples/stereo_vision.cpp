@@ -23,6 +23,7 @@
 #include "core/sampler_software.hh"
 #include "img/dataset_io.hh"
 #include "img/pgm_io.hh"
+#include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
 #include "util/cli.hh"
 
@@ -32,6 +33,8 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    obs::TelemetryScope telemetry =
+        obs::telemetryFromCli(args, "stereo_vision");
     const std::string which = args.getString("scene", "teddy");
     const int sweeps = static_cast<int>(args.getInt("sweeps", 200));
     const std::string outdir = args.getString("outdir", ".");

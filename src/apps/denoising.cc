@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/telemetry.hh"
 #include "rng/rng.hh"
 #include "util/logging.hh"
 
@@ -109,13 +110,38 @@ runDenoising(const img::ImageU8 &clean, const img::ImageU8 &noisy,
              const DenoisingParams &params)
 {
     mrf::MrfProblem problem = buildDenoisingProblem(noisy, params);
-    mrf::GibbsSolver gibbs(solver);
+
+    // Stream PSNR against the clean reference after every sweep when
+    // a telemetry recorder is installed; read-only observation.
+    mrf::SolverConfig cfg = solver;
+    obs::TelemetryRecorder *rec = obs::activeRecorder();
+    if (rec) {
+        auto prev = cfg.sweepObserver;
+        const img::ImageU8 *ref = &clean;
+        int levels = params.levels;
+        cfg.sweepObserver = [rec, prev, ref, levels](
+                                int sweep, double temperature,
+                                const img::LabelMap &labels) {
+            if (prev)
+                prev(sweep, temperature, labels);
+            rec->record("quality.denoising",
+                        {{"sweep", static_cast<double>(sweep)},
+                         {"psnr_db",
+                          psnrDb(levelsToImage(labels, levels), *ref)}});
+        };
+    }
+    mrf::GibbsSolver gibbs(cfg);
 
     DenoisingResult result;
     img::LabelMap labels = gibbs.run(problem, sampler, &result.trace);
     result.restored = levelsToImage(labels, params.levels);
     result.psnrNoisy = psnrDb(noisy, clean);
     result.psnrRestored = psnrDb(result.restored, clean);
+    if (rec) {
+        rec->record("app.denoising",
+                    {{"psnr_noisy_db", result.psnrNoisy},
+                     {"psnr_restored_db", result.psnrRestored}});
+    }
     return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "metrics/motion_metrics.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace retsim {
@@ -90,13 +91,39 @@ runMotion(const img::MotionScene &scene, mrf::LabelSampler &sampler,
           const mrf::SolverConfig &solver, const MotionParams &params)
 {
     mrf::MrfProblem problem = buildMotionProblem(scene, params);
-    mrf::GibbsSolver gibbs(solver);
+
+    // Stream end-point error after every sweep when a telemetry
+    // recorder is installed; read-only observation.
+    mrf::SolverConfig cfg = solver;
+    obs::TelemetryRecorder *rec = obs::activeRecorder();
+    if (rec) {
+        auto prev = cfg.sweepObserver;
+        std::string stream = "quality.motion." + scene.name;
+        const img::Image<img::Vec2i> *gt = &scene.gtMotion;
+        int radius = scene.windowRadius;
+        cfg.sweepObserver = [rec, prev, stream, gt, radius](
+                                int sweep, double temperature,
+                                const img::LabelMap &labels) {
+            if (prev)
+                prev(sweep, temperature, labels);
+            rec->record(stream,
+                        {{"sweep", static_cast<double>(sweep)},
+                         {"end_point_error",
+                          metrics::endPointError(
+                              labelsToFlow(labels, radius), *gt)}});
+        };
+    }
+    mrf::GibbsSolver gibbs(cfg);
 
     MotionResult result;
     result.labels = gibbs.run(problem, sampler, &result.trace);
     result.flow = labelsToFlow(result.labels, scene.windowRadius);
     result.endPointError =
         metrics::endPointError(result.flow, scene.gtMotion);
+    if (rec) {
+        rec->record("app.motion",
+                    {{"end_point_error", result.endPointError}});
+    }
     return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "metrics/segmentation_metrics.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace retsim {
@@ -87,7 +88,32 @@ runSegmentation(const img::SegmentationScene &scene,
                 const SegmentationParams &params)
 {
     mrf::MrfProblem problem = buildSegmentationProblem(scene, params);
-    mrf::GibbsSolver gibbs(solver);
+
+    // Stream the contingency-table metrics (VoI, PRI) after every
+    // sweep when a telemetry recorder is installed; the boundary
+    // metrics (GCE, BDE) are heavier and only reported on the final
+    // labeling.  Read-only observation.
+    mrf::SolverConfig cfg = solver;
+    obs::TelemetryRecorder *rec = obs::activeRecorder();
+    if (rec) {
+        auto prev = cfg.sweepObserver;
+        std::string stream = "quality.segmentation." + scene.name;
+        const img::LabelMap *gt = &scene.gtSegments;
+        cfg.sweepObserver = [rec, prev, stream, gt](
+                                int sweep, double temperature,
+                                const img::LabelMap &labels) {
+            if (prev)
+                prev(sweep, temperature, labels);
+            rec->record(
+                stream,
+                {{"sweep", static_cast<double>(sweep)},
+                 {"voi",
+                  metrics::variationOfInformation(labels, *gt)},
+                 {"pri",
+                  metrics::probabilisticRandIndex(labels, *gt)}});
+        };
+    }
+    mrf::GibbsSolver gibbs(cfg);
 
     SegmentationResult result;
     result.segments = gibbs.run(problem, sampler, &result.trace);
@@ -99,6 +125,12 @@ runSegmentation(const img::SegmentationScene &scene,
                                                  scene.gtSegments);
     result.bde = metrics::boundaryDisplacementError(result.segments,
                                                     scene.gtSegments);
+    if (rec) {
+        rec->record("app.segmentation", {{"voi", result.voi},
+                                         {"pri", result.pri},
+                                         {"gce", result.gce},
+                                         {"bde", result.bde}});
+    }
     return result;
 }
 

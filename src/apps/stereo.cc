@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "metrics/stereo_metrics.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace retsim {
@@ -49,7 +50,30 @@ runStereo(const img::StereoScene &scene, mrf::LabelSampler &sampler,
           const mrf::SolverConfig &solver, const StereoParams &params)
 {
     mrf::MrfProblem problem = buildStereoProblem(scene, params);
-    mrf::GibbsSolver gibbs(solver);
+
+    // With a telemetry recorder installed, stream the quality metric
+    // after every outer iteration.  The observer only reads the
+    // labeling, so the solver output is unchanged.
+    mrf::SolverConfig cfg = solver;
+    obs::TelemetryRecorder *rec = obs::activeRecorder();
+    if (rec) {
+        auto prev = cfg.sweepObserver;
+        std::string stream = "quality.stereo." + scene.name;
+        const img::LabelMap *gt = &scene.gtDisparity;
+        cfg.sweepObserver = [rec, prev, stream, gt](
+                                int sweep, double temperature,
+                                const img::LabelMap &labels) {
+            if (prev)
+                prev(sweep, temperature, labels);
+            rec->record(
+                stream,
+                {{"sweep", static_cast<double>(sweep)},
+                 {"bad_pixel_percent",
+                  metrics::badPixelPercent(labels, *gt)},
+                 {"rms_error", metrics::rmsError(labels, *gt)}});
+        };
+    }
+    mrf::GibbsSolver gibbs(cfg);
 
     StereoResult result;
     result.disparity = gibbs.run(problem, sampler, &result.trace);
@@ -57,6 +81,11 @@ runStereo(const img::StereoScene &scene, mrf::LabelSampler &sampler,
         metrics::badPixelPercent(result.disparity, scene.gtDisparity);
     result.rmsError =
         metrics::rmsError(result.disparity, scene.gtDisparity);
+    if (rec) {
+        rec->record("app.stereo",
+                    {{"bad_pixel_percent", result.badPixelPercent},
+                     {"rms_error", result.rmsError}});
+    }
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "util/fixed_point.hh"
 #include "util/logging.hh"
 
@@ -91,17 +92,46 @@ LambdaLutCache::makeKey(const RsuConfig &cfg, double temperature)
     return {packed, std::bit_cast<std::uint64_t>(temperature)};
 }
 
+namespace {
+
+/** Registry mirrors of the cache counters (solver telemetry reads
+ *  them by name, so the mrf layer never includes this header). */
+struct LutCacheMetricIds
+{
+    obs::MetricId hits;
+    obs::MetricId misses;
+    obs::MetricId tables;
+
+    static const LutCacheMetricIds &get()
+    {
+        static const LutCacheMetricIds ids = [] {
+            obs::Registry &r = obs::Registry::global();
+            return LutCacheMetricIds{
+                r.counter("core.lambda_lut.hits"),
+                r.counter("core.lambda_lut.misses"),
+                r.gauge("core.lambda_lut.tables"),
+            };
+        }();
+        return ids;
+    }
+};
+
+} // namespace
+
 std::shared_ptr<const LambdaLut>
 LambdaLutCache::get(const RsuConfig &cfg, double temperature)
 {
     RETSIM_ASSERT(cfg.lambdaQuant != LambdaQuant::Float,
                   "no LUT exists in float-lambda mode");
+    const LutCacheMetricIds &ids = LutCacheMetricIds::get();
+    obs::Registry &reg = obs::Registry::global();
     Key key = makeKey(cfg, temperature);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = tables_.find(key);
         if (it != tables_.end()) {
             ++hits_;
+            reg.add(ids.hits, 1);
             return it->second;
         }
     }
@@ -109,12 +139,20 @@ LambdaLutCache::get(const RsuConfig &cfg, double temperature)
     // and concurrent stripes must not serialize on it.  A racing
     // builder of the same key just loses to whoever inserts first.
     auto built = std::make_shared<const LambdaLut>(cfg, temperature);
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (tables_.size() >= kMaxEntries)
-        tables_.clear();
-    auto [it, inserted] = tables_.emplace(key, std::move(built));
-    ++misses_;
-    return it->second;
+    std::size_t live;
+    std::shared_ptr<const LambdaLut> table;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tables_.size() >= kMaxEntries)
+            tables_.clear();
+        auto [it, inserted] = tables_.emplace(key, std::move(built));
+        ++misses_;
+        live = tables_.size();
+        table = it->second;
+    }
+    reg.add(ids.misses, 1);
+    reg.set(ids.tables, static_cast<double>(live));
+    return table;
 }
 
 std::size_t

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/ttf_race.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "ret/truncation.hh"
 #include "rng/distributions.hh"
 #include "util/fixed_point.hh"
@@ -16,6 +18,35 @@ namespace {
 
 /** Front-end depth before the FIFO: label counter + energy stage. */
 constexpr unsigned kFrontStages = 2;
+
+/** Registry handles for the cycle-level pipeline model. */
+struct PipelineMetricIds
+{
+    obs::MetricId runs;
+    obs::MetricId cycles;
+    obs::MetricId labels;
+    obs::MetricId stalls;
+    obs::MetricId temperatureUpdates;
+    obs::MetricId fifoOccupancy;
+
+    static const PipelineMetricIds &get()
+    {
+        static const PipelineMetricIds ids = [] {
+            obs::Registry &r = obs::Registry::global();
+            return PipelineMetricIds{
+                r.counter("core.pipeline.runs"),
+                r.counter("core.pipeline.cycles"),
+                r.counter("core.pipeline.labels_evaluated"),
+                r.counter("core.pipeline.stall_cycles"),
+                r.counter("core.pipeline.temperature_updates"),
+                r.histogram("core.pipeline.fifo_occupancy",
+                            {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                             128.0}),
+            };
+        }();
+        return ids;
+    }
+};
 
 /** One FIFO entry: a quantized label energy. */
 struct FifoEntry
@@ -137,6 +168,13 @@ RsuPipeline::run(const std::vector<PixelRequest> &requests,
     std::uint64_t cycle = 0;
     std::uint64_t back_stalled_until = 0;
     PipelineStats &stats = result.stats;
+
+    // Per-push FIFO-occupancy histogram sampling is the only per-cycle
+    // instrumentation; it stays off unless a telemetry recorder is
+    // installed so the undisturbed model keeps its throughput.
+    obs::TelemetryRecorder *recorder = obs::activeRecorder();
+    const PipelineMetricIds &mids = PipelineMetricIds::get();
+    obs::Registry &reg = obs::Registry::global();
 
     auto select_update = [&](VarState &vs, int label, bool fired,
                              unsigned bin) {
@@ -284,6 +322,9 @@ RsuPipeline::run(const std::vector<PixelRequest> &requests,
             fifo.push_back({q, front_var, front_label, last});
             stats.maxFifoOccupancy =
                 std::max(stats.maxFifoOccupancy, fifo.size());
+            if (recorder)
+                reg.observe(mids.fifoOccupancy,
+                            static_cast<double>(fifo.size()));
             if (last) {
                 vs.minFinal = true;
                 ++front_var;
@@ -315,6 +356,30 @@ RsuPipeline::run(const std::vector<PixelRequest> &requests,
         stats.retSamples += c.totalSamples();
         stats.retTruncated += c.truncatedSamples();
         stats.retBleedThrough += c.bleedThroughSamples();
+    }
+
+    reg.add(mids.runs, 1);
+    reg.add(mids.cycles, stats.cycles);
+    reg.add(mids.labels, stats.labelsEvaluated);
+    reg.add(mids.stalls, stats.stallCycles);
+    reg.add(mids.temperatureUpdates, stats.temperatureUpdates);
+    if (recorder) {
+        recorder->record(
+            "pipeline.run",
+            {{"pixels", static_cast<double>(n)},
+             {"cycles", static_cast<double>(stats.cycles)},
+             {"labels_evaluated",
+              static_cast<double>(stats.labelsEvaluated)},
+             {"stall_cycles", static_cast<double>(stats.stallCycles)},
+             {"temperature_updates",
+              static_cast<double>(stats.temperatureUpdates)},
+             {"max_fifo_occupancy",
+              static_cast<double>(stats.maxFifoOccupancy)},
+             {"avg_pixel_latency", stats.avgPixelLatency},
+             {"first_pixel_latency",
+              static_cast<double>(stats.firstPixelLatency)},
+             {"throughput_labels_per_cycle",
+              stats.throughputLabelsPerCycle}});
     }
     return result;
 }

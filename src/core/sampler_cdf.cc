@@ -48,6 +48,7 @@ CdfLutSampler::sample(std::span<const float> energies,
         cdf_[i] = acc;
     }
 
+    ++samples_;
     double u = source_->nextDouble() * acc;
     for (std::size_t i = 0; i < cdf_.size(); ++i) {
         if (u < cdf_[i])
@@ -80,6 +81,7 @@ CdfLutSampler::sampleRow(std::span<const float> energies,
     uniforms_.resize(n);
     source_->fillUniform(uniforms_);
 
+    samples_ += n;
     cdf_.resize(m);
     for (std::size_t p = 0; p < n; ++p) {
         const float *e = energies.data() + p * m;
@@ -104,6 +106,14 @@ CdfLutSampler::sampleRow(std::span<const float> energies,
         }
         out[p] = chosen;
     }
+}
+
+void
+CdfLutSampler::mergeStats(const mrf::LabelSampler &other)
+{
+    const auto *cdf = dynamic_cast<const CdfLutSampler *>(&other);
+    if (cdf)
+        samples_ += cdf->samples_;
 }
 
 } // namespace core

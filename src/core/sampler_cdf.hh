@@ -51,6 +51,15 @@ class CdfLutSampler : public mrf::LabelSampler
 
     std::string name() const override;
 
+    /** Fold a stripe clone's sample count back into this sampler. */
+    void mergeStats(const mrf::LabelSampler &other) override;
+
+    /** CDF inversion always yields a label: no ties, no no-sample. */
+    mrf::SamplerStats stats() const override
+    {
+        return {samples_, 0, 0};
+    }
+
     /** Clone with an independently forked entropy stream. */
     std::unique_ptr<mrf::LabelSampler>
     clone(std::uint64_t stream) const override
@@ -66,6 +75,7 @@ class CdfLutSampler : public mrf::LabelSampler
     int maxLabels_;
     std::vector<double> cdf_;      // scratch
     std::vector<double> uniforms_; // scratch, batched draws
+    std::uint64_t samples_ = 0;
 };
 
 } // namespace core

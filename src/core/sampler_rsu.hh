@@ -58,6 +58,12 @@ class RsuSampler : public mrf::LabelSampler
     /** Fold a stripe clone's counters back into this sampler. */
     void mergeStats(const mrf::LabelSampler &other) override;
 
+    /** Uniform counter snapshot for solver telemetry. */
+    mrf::SamplerStats stats() const override
+    {
+        return {totalSamples_, noSampleEvents_, tieEvents_};
+    }
+
     /**
      * Same device configuration, fresh conversion cache and counters.
      * The RSU draws entropy from the solver-provided generator, so the

@@ -26,6 +26,7 @@ SoftwareSampler::sample(std::span<const float> energies,
         weights_[i] = std::exp(-(static_cast<double>(energies[i]) -
                                  e_min) /
                                temperature);
+    ++samples_;
     return static_cast<int>(rng::sampleCategorical(gen, weights_));
 }
 
@@ -52,6 +53,7 @@ SoftwareSampler::sampleRow(std::span<const float> energies,
     uniforms_.resize(n);
     gen.fillUniform(uniforms_);
 
+    samples_ += n;
     weights_.resize(m);
     for (std::size_t p = 0; p < n; ++p) {
         const float *e = energies.data() + p * m;
@@ -89,6 +91,14 @@ SoftwareSampler::sampleRow(std::span<const float> energies,
         }
         out[p] = chosen;
     }
+}
+
+void
+SoftwareSampler::mergeStats(const mrf::LabelSampler &other)
+{
+    const auto *sw = dynamic_cast<const SoftwareSampler *>(&other);
+    if (sw)
+        samples_ += sw->samples_;
 }
 
 } // namespace core

@@ -42,6 +42,15 @@ class SoftwareSampler : public mrf::LabelSampler
 
     std::string name() const override { return "software-float"; }
 
+    /** Fold a stripe clone's sample count back into this sampler. */
+    void mergeStats(const mrf::LabelSampler &other) override;
+
+    /** The software path always samples: no ties, no no-sample. */
+    mrf::SamplerStats stats() const override
+    {
+        return {samples_, 0, 0};
+    }
+
     /** Stateless apart from scratch; the stream index is unused. */
     std::unique_ptr<mrf::LabelSampler>
     clone(std::uint64_t stream) const override
@@ -53,6 +62,7 @@ class SoftwareSampler : public mrf::LabelSampler
   private:
     std::vector<double> weights_; // scratch, reused across calls
     std::vector<double> uniforms_; // scratch, batched draws
+    std::uint64_t samples_ = 0;
 };
 
 } // namespace core

@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "mrf/solver_telemetry.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -110,7 +112,7 @@ img::LabelMap
 CheckerboardGibbsSolver::run(const MrfProblem &problem,
                              LabelSampler &sampler,
                              img::LabelMap &labels,
-                             SolverTrace *trace) const
+                             SolverTrace *caller_trace) const
 {
     RETSIM_ASSERT(labels.width() == problem.width() &&
                       labels.height() == problem.height(),
@@ -123,6 +125,17 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
     const int m = problem.numLabels();
     rng::Xoshiro256 gen(config_.seed);
 
+    const detail::SolverMetricIds &ids = detail::SolverMetricIds::get();
+    obs::Registry &reg = obs::Registry::global();
+    detail::SweepTelemetry telemetry(problem, sampler, "checkerboard");
+    SolverTrace local_trace;
+    SolverTrace *trace =
+        caller_trace ? caller_trace
+                     : (telemetry.active() ? &local_trace : nullptr);
+    if (trace)
+        telemetry.setTraceBaseline(trace->pixelUpdates,
+                                   trace->labelChanges);
+
     if (config_.randomInit) {
         for (int &l : labels.data())
             l = static_cast<int>(gen.nextBounded(m));
@@ -133,6 +146,7 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
     // stripe decomposition nor threading was requested.
     if (config_.threads == 1 && config_.stripes == 0) {
         RowArena arena(problem.width(), m);
+        obs::MetricShard shard = reg.makeShard();
         for (int s = 0; s < config_.annealing.sweeps; ++s) {
             double temperature = config_.annealing.temperature(s);
             for (int color = 0; color < 2; ++color) {
@@ -140,6 +154,8 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
                     StripeCounters c =
                         updateRow(problem, sampler, labels, y, color,
                                   temperature, arena, gen);
+                    shard.add(ids.pixelUpdates, c.pixelUpdates);
+                    shard.add(ids.labelChanges, c.labelChanges);
                     if (trace) {
                         trace->pixelUpdates += c.pixelUpdates;
                         trace->labelChanges += c.labelChanges;
@@ -151,7 +167,20 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
                     problem.totalEnergy(labels));
                 trace->temperaturePerSweep.push_back(temperature);
             }
+            if (telemetry.active()) {
+                telemetry.recordSweep(s, temperature,
+                                      trace->energyPerSweep.back(),
+                                      trace->pixelUpdates,
+                                      trace->labelChanges,
+                                      sampler.stats());
+            }
+            if (config_.sweepObserver)
+                config_.sweepObserver(s, temperature, labels);
         }
+        reg.fold(shard);
+        reg.add(ids.runs, 1);
+        reg.add(ids.sweeps, static_cast<std::uint64_t>(
+                                config_.annealing.sweeps));
         return labels;
     }
 
@@ -189,6 +218,15 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
     std::vector<StripeCounters> counters(
         static_cast<std::size_t>(stripes));
 
+    // One metrics shard per stripe: workers accumulate lock-free and
+    // the coordinator folds them back into the process-wide registry
+    // at the sweep join, so instrumentation never serializes the hot
+    // path (and never perturbs the per-stripe RNG streams).
+    std::vector<obs::MetricShard> shards;
+    shards.reserve(static_cast<std::size_t>(stripes));
+    for (int k = 0; k < stripes; ++k)
+        shards.push_back(reg.makeShard());
+
     auto run_stripe = [&](int sweep, int color, int k,
                           double temperature) {
         const int y0 = static_cast<int>(
@@ -200,12 +238,15 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
         LabelSampler &stripe_sampler = *workers[k];
         RowArena &arena = scratch[k];
         StripeCounters &c = counters[k];
+        obs::MetricShard &shard = shards[static_cast<std::size_t>(k)];
         for (int y = y0; y < y1; ++y) {
             StripeCounters rc =
                 updateRow(problem, stripe_sampler, labels, y, color,
                           temperature, arena, stripe_gen);
             c.pixelUpdates += rc.pixelUpdates;
             c.labelChanges += rc.labelChanges;
+            shard.add(ids.pixelUpdates, rc.pixelUpdates);
+            shard.add(ids.labelChanges, rc.labelChanges);
         }
     };
 
@@ -238,7 +279,27 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
                 problem.totalEnergy(labels));
             trace->temperaturePerSweep.push_back(temperature);
         }
+        // Stripe join: fold the workers' metric shards into the
+        // registry.  Shard merges are plain sums, so the totals equal
+        // a serial run's regardless of stripe count or scheduling.
+        for (obs::MetricShard &shard : shards)
+            reg.fold(shard);
+        if (telemetry.active()) {
+            SamplerStats cum = sampler.stats();
+            for (int k = 0; k < stripes; ++k)
+                cum += workers[k]->stats();
+            telemetry.recordSweep(s, temperature,
+                                  trace->energyPerSweep.back(),
+                                  trace->pixelUpdates,
+                                  trace->labelChanges, cum);
+        }
+        if (config_.sweepObserver)
+            config_.sweepObserver(s, temperature, labels);
     }
+
+    reg.add(ids.runs, 1);
+    reg.add(ids.sweeps,
+            static_cast<std::uint64_t>(config_.annealing.sweeps));
 
     // Fold every stripe clone's instrumentation counters back into
     // the caller's sampler so striped runs report the same totals

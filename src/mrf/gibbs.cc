@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mrf/solver_telemetry.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace retsim {
@@ -23,13 +25,28 @@ AnnealingSchedule::temperature(int s) const
 
 img::LabelMap
 GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
-                 img::LabelMap &labels, SolverTrace *trace) const
+                 img::LabelMap &labels, SolverTrace *caller_trace) const
 {
     RETSIM_ASSERT(labels.width() == problem.width() &&
                       labels.height() == problem.height(),
                   "label map size mismatch");
     const int m = problem.numLabels();
     rng::Xoshiro256 gen(config_.seed);
+
+    // Telemetry wants the per-sweep counters even when the caller
+    // passed no trace; a run-local trace stands in.  With neither a
+    // recorder nor a trace the counting stays compiled out of the
+    // pixel loop exactly as before.
+    detail::SweepTelemetry telemetry(problem, sampler, "gibbs");
+    SolverTrace local_trace;
+    SolverTrace *trace =
+        caller_trace ? caller_trace
+                     : (telemetry.active() ? &local_trace : nullptr);
+    if (trace)
+        telemetry.setTraceBaseline(trace->pixelUpdates,
+                                   trace->labelChanges);
+    const std::uint64_t start_updates = trace ? trace->pixelUpdates : 0;
+    const std::uint64_t start_changes = trace ? trace->labelChanges : 0;
 
     if (config_.randomInit) {
         for (int &l : labels.data())
@@ -94,6 +111,29 @@ GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
             trace->energyPerSweep.push_back(
                 problem.totalEnergy(labels));
             trace->temperaturePerSweep.push_back(temperature);
+        }
+        if (telemetry.active()) {
+            telemetry.recordSweep(s, temperature,
+                                  trace->energyPerSweep.back(),
+                                  trace->pixelUpdates,
+                                  trace->labelChanges,
+                                  sampler.stats());
+        }
+        if (config_.sweepObserver)
+            config_.sweepObserver(s, temperature, labels);
+    }
+
+    {
+        const auto &ids = detail::SolverMetricIds::get();
+        obs::Registry &reg = obs::Registry::global();
+        reg.add(ids.runs, 1);
+        reg.add(ids.sweeps,
+                static_cast<std::uint64_t>(config_.annealing.sweeps));
+        if (trace) {
+            reg.add(ids.pixelUpdates,
+                    trace->pixelUpdates - start_updates);
+            reg.add(ids.labelChanges,
+                    trace->labelChanges - start_changes);
         }
     }
     return labels;

@@ -65,6 +65,17 @@ struct SolverConfig
      * problem-dependent stripe count (min(height, 16)).
      */
     int stripes = 0;
+    /**
+     * Called after every completed sweep with the sweep index, its
+     * temperature and the labeling at that point — the hook the apps
+     * use to stream per-outer-iteration quality metrics into the
+     * telemetry recorder.  Read-only observation: the labeling, RNG
+     * streams and solver result are exactly those of an unobserved
+     * run.  Empty (the default) costs one branch per sweep.
+     */
+    std::function<void(int sweep, double temperature,
+                       const img::LabelMap &labels)>
+        sweepObserver;
 };
 
 struct SolverTrace

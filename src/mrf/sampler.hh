@@ -13,6 +13,7 @@
 #ifndef RETSIM_MRF_SAMPLER_HH
 #define RETSIM_MRF_SAMPLER_HH
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -21,6 +22,34 @@
 
 namespace retsim {
 namespace mrf {
+
+/**
+ * Instrumentation counters every sampler exposes uniformly so the
+ * solvers can report per-sweep acceptance / tie / no-sample rates
+ * without knowing the concrete sampler type.  Values are cumulative
+ * over the sampler's lifetime (and across mergeStats() folds);
+ * consumers difference successive snapshots for per-sweep deltas.
+ */
+struct SamplerStats
+{
+    std::uint64_t samples = 0;   ///< pixel evaluations performed
+    std::uint64_t noSample = 0;  ///< kept current label (nothing fired)
+    std::uint64_t ties = 0;      ///< decided by a tie-break
+
+    SamplerStats operator-(const SamplerStats &o) const
+    {
+        return {samples - o.samples, noSample - o.noSample,
+                ties - o.ties};
+    }
+
+    SamplerStats &operator+=(const SamplerStats &o)
+    {
+        samples += o.samples;
+        noSample += o.noSample;
+        ties += o.ties;
+        return *this;
+    }
+};
 
 class LabelSampler
 {
@@ -72,6 +101,14 @@ class LabelSampler
 
     /** Human-readable implementation name for reports. */
     virtual std::string name() const = 0;
+
+    /**
+     * Cumulative instrumentation counters; the default (for samplers
+     * that keep none) reports all-zero.  Implementations with private
+     * counters overlay them — the solvers difference snapshots taken
+     * at sweep boundaries to build telemetry trajectories.
+     */
+    virtual SamplerStats stats() const { return {}; }
 
     /**
      * Fold the instrumentation counters of @p other (typically a

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Glue between util::CliArgs and the telemetry recorder: the
+ * `--telemetry-out=<path>` flag every app, bench and tool accepts.
+ *
+ * Header-only so obs does not link against retsim_util — the caller
+ * already does.  Usage:
+ *
+ *     util::CliArgs args(argc, argv);
+ *     obs::TelemetryScope telemetry =
+ *         obs::telemetryFromCli(args, "stereo_vision");
+ *     // ... run; recorder flushes to the file when scope dies.
+ */
+
+#ifndef RETSIM_OBS_TELEMETRY_CLI_HH
+#define RETSIM_OBS_TELEMETRY_CLI_HH
+
+#include <string>
+
+#include "obs/telemetry.hh"
+#include "util/cli.hh"
+
+namespace retsim {
+namespace obs {
+
+/**
+ * Activate telemetry when `--telemetry-out=<path>` was passed; the
+ * sink format follows the extension (.csv -> CSV, anything else ->
+ * JSON).  Without the flag the returned scope is inert and every
+ * instrumentation site stays on its null fast path.
+ */
+inline TelemetryScope
+telemetryFromCli(const util::CliArgs &args, std::string run_label)
+{
+    std::string path = args.getString("telemetry-out", "");
+    if (path.empty())
+        return TelemetryScope();
+    return TelemetryScope(std::move(path), std::move(run_label));
+}
+
+} // namespace obs
+} // namespace retsim
+
+#endif // RETSIM_OBS_TELEMETRY_CLI_HH

@@ -1,0 +1,463 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace util {
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    RETSIM_ASSERT(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    RETSIM_ASSERT(kind_ == Kind::Number, "JSON value is not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    RETSIM_ASSERT(kind_ == Kind::String, "JSON value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    RETSIM_ASSERT(kind_ == Kind::Array, "JSON value is not an array");
+    return items_;
+}
+
+const std::vector<JsonValue::Member> &
+JsonValue::members() const
+{
+    RETSIM_ASSERT(kind_ == Kind::Object, "JSON value is not an object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const Member &m : members_) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+void
+JsonValue::append(JsonValue v)
+{
+    if (kind_ != Kind::Array) {
+        *this = array();
+    }
+    items_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ != Kind::Object) {
+        *this = object();
+    }
+    for (Member &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+// ------------------------------------------------------------------
+// Parsing
+
+namespace {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    int line = 1;
+    std::string error;
+
+    bool fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = "line " + std::to_string(line) + ": " + msg;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (p < end) {
+            char c = *p;
+            if (c == '\n')
+                ++line;
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++p;
+            else
+                break;
+        }
+    }
+
+    bool literal(const char *word, std::size_t len)
+    {
+        if (static_cast<std::size_t>(end - p) < len ||
+            std::string(p, len) != word)
+            return fail("invalid literal");
+        p += len;
+        return true;
+    }
+
+    bool parseString(std::string *out)
+    {
+        ++p; // opening quote
+        out->clear();
+        while (p < end) {
+            char c = *p++;
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (p >= end)
+                    return fail("unterminated escape");
+                char e = *p++;
+                switch (e) {
+                  case '"': out->push_back('"'); break;
+                  case '\\': out->push_back('\\'); break;
+                  case '/': out->push_back('/'); break;
+                  case 'b': out->push_back('\b'); break;
+                  case 'f': out->push_back('\f'); break;
+                  case 'n': out->push_back('\n'); break;
+                  case 'r': out->push_back('\r'); break;
+                  case 't': out->push_back('\t'); break;
+                  case 'u': {
+                    if (end - p < 4)
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = *p++;
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    // UTF-8 encode the BMP code point; surrogate
+                    // pairs are passed through as two 3-byte units,
+                    // fine for the ASCII-dominated files we handle.
+                    if (code < 0x80) {
+                        out->push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out->push_back(
+                            static_cast<char>(0xC0 | (code >> 6)));
+                        out->push_back(
+                            static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        out->push_back(
+                            static_cast<char>(0xE0 | (code >> 12)));
+                        out->push_back(static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F)));
+                        out->push_back(
+                            static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape character");
+                }
+            } else if (c == '\n') {
+                return fail("unescaped newline in string");
+            } else {
+                out->push_back(c);
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseValue(JsonValue *out, int depth)
+    {
+        if (depth > 128)
+            return fail("nesting too deep");
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        char c = *p;
+        if (c == '{') {
+            ++p;
+            *out = JsonValue::object();
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                if (p >= end || *p != '"')
+                    return fail("expected object key");
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':' after key");
+                ++p;
+                JsonValue v;
+                if (!parseValue(&v, depth + 1))
+                    return false;
+                out->set(key, std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}' in object");
+            }
+        }
+        if (c == '[') {
+            ++p;
+            *out = JsonValue::array();
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            for (;;) {
+                JsonValue v;
+                if (!parseValue(&v, depth + 1))
+                    return false;
+                out->append(std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']' in array");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = JsonValue(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true", 4))
+                return false;
+            *out = JsonValue(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false", 5))
+                return false;
+            *out = JsonValue(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null", 4))
+                return false;
+            *out = JsonValue();
+            return true;
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            double value = 0.0;
+            auto [next, ec] = std::from_chars(p, end, value);
+            if (ec != std::errc{})
+                return fail("malformed number");
+            p = next;
+            *out = JsonValue(value);
+            return true;
+        }
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+};
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    // Round-trippable shortest form; trim a trailing ".0"-less
+    // integer representation the long way for readability.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) {
+        // Try shorter forms first so files stay human-readable.
+        for (int prec = 1; prec <= 16; ++prec) {
+            char sh[32];
+            std::snprintf(sh, sizeof sh, "%.*g", prec, v);
+            double p2 = 0.0;
+            std::sscanf(sh, "%lf", &p2);
+            if (p2 == v) {
+                out += sh;
+                return;
+            }
+        }
+    }
+    out += buf;
+}
+
+} // namespace
+
+bool
+JsonValue::parse(const std::string &text, JsonValue *out,
+                 std::string *error)
+{
+    Parser parser{text.data(), text.data() + text.size(), 1, {}};
+    JsonValue v;
+    bool ok = parser.parseValue(&v, 0);
+    if (ok) {
+        parser.skipWs();
+        if (parser.p != parser.end)
+            ok = parser.fail("trailing characters after value");
+    }
+    if (!ok) {
+        if (error)
+            *error = parser.error;
+        return false;
+    }
+    *out = std::move(v);
+    return true;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        appendNumber(out, number_);
+        break;
+      case Kind::String:
+        appendEscaped(out, string_);
+        break;
+      case Kind::Array:
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+      case Kind::Object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            appendEscaped(out, members_[i].first);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out.push_back('\n');
+    return out;
+}
+
+} // namespace util
+} // namespace retsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * Just enough JSON for the repo's tooling: the quality gate reads its
+ * baseline file and telemetry dumps with it, and tests round-trip the
+ * registry snapshot.  Numbers are doubles, object member order is
+ * preserved, and parse errors come back as a position-annotated
+ * message instead of a fatal so callers can report bad input files
+ * gracefully.  No external dependency.
+ */
+
+#ifndef RETSIM_UTIL_JSON_HH
+#define RETSIM_UTIL_JSON_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace retsim {
+namespace util {
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() : kind_(Kind::Null) {}
+    explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    explicit JsonValue(double n) : kind_(Kind::Number), number_(n) {}
+    explicit JsonValue(std::string s)
+        : kind_(Kind::String), string_(std::move(s))
+    {
+    }
+
+    static JsonValue array();
+    static JsonValue object();
+
+    /**
+     * Parse @p text into @p out.  On failure returns false and, when
+     * @p error is non-null, stores a "line N: ..." description.
+     * Trailing garbage after the top-level value is an error.
+     */
+    static bool parse(const std::string &text, JsonValue *out,
+                      std::string *error = nullptr);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; fatal on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &items() const;
+    const std::vector<Member> &members() const;
+
+    /** Object lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Mutating builders (convert the value to the needed kind). */
+    void append(JsonValue v);
+    void set(const std::string &key, JsonValue v);
+
+    /**
+     * Serialize.  @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits the compact single-line form.  Non-finite
+     * numbers serialize as null (JSON has no representation).
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+};
+
+} // namespace util
+} // namespace retsim
+
+#endif // RETSIM_UTIL_JSON_HH

@@ -2,8 +2,33 @@
 
 #include <memory>
 
+#include "obs/metrics.hh"
+
 namespace retsim {
 namespace util {
+
+namespace {
+
+/** Registry handles for pool-level work accounting. */
+struct PoolMetricIds
+{
+    obs::MetricId parallelForCalls;
+    obs::MetricId tasks;
+
+    static const PoolMetricIds &get()
+    {
+        static const PoolMetricIds ids = [] {
+            obs::Registry &r = obs::Registry::global();
+            return PoolMetricIds{
+                r.counter("util.thread_pool.parallel_for_calls"),
+                r.counter("util.thread_pool.tasks"),
+            };
+        }();
+        return ids;
+    }
+};
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
@@ -83,8 +108,12 @@ void
 ThreadPool::parallelFor(std::size_t count,
                         const std::function<void(std::size_t)> &body)
 {
+    const PoolMetricIds &ids = PoolMetricIds::get();
+    obs::Registry &reg = obs::Registry::global();
     if (count == 0)
         return;
+    reg.add(ids.parallelForCalls, 1);
+    reg.add(ids.tasks, count);
     if (count == 1 || workers_.empty()) {
         for (std::size_t i = 0; i < count; ++i)
             body(i);

@@ -12,6 +12,7 @@
 
 #include "util/cli.hh"
 #include "util/fixed_point.hh"
+#include "util/json.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -237,6 +238,71 @@ TEST(ThreadPool, ReusableAcrossCalls)
     pool.parallelFor(50, [&](std::size_t i) { sum += (long)i; });
     pool.parallelFor(50, [&](std::size_t i) { sum += (long)i; });
     EXPECT_EQ(sum.load(), 2 * (49 * 50 / 2));
+}
+
+// ----------------------------------------------------------------- json
+
+TEST(Json, ParsesScalarsAndContainers)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"a": 1.5, "b": [true, null, "x\n"], "c": {"d": -3}})", &v,
+        &error))
+        << error;
+    EXPECT_DOUBLE_EQ(v.find("a")->asNumber(), 1.5);
+    const auto &items = v.find("b")->items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_TRUE(items[0].asBool());
+    EXPECT_TRUE(items[1].isNull());
+    EXPECT_EQ(items[2].asString(), "x\n");
+    EXPECT_DOUBLE_EQ(v.find("c")->find("d")->asNumber(), -3.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInputWithLineNumber)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse("{\"a\": 1,\n  2}", &v, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_FALSE(JsonValue::parse("[1, 2] trailing", &v, &error));
+    EXPECT_FALSE(JsonValue::parse("", &v, &error));
+    EXPECT_FALSE(JsonValue::parse("{\"a\": }", &v, &error));
+}
+
+TEST(Json, DumpParseRoundTrip)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("name", JsonValue(std::string("retsim \"gate\"")));
+    obj.set("value", JsonValue(0.1 + 0.2));
+    JsonValue arr = JsonValue::array();
+    arr.append(JsonValue(1.0));
+    arr.append(JsonValue(false));
+    obj.set("list", std::move(arr));
+
+    for (int indent : {0, 2}) {
+        JsonValue back;
+        std::string error;
+        ASSERT_TRUE(JsonValue::parse(obj.dump(indent), &back, &error))
+            << error;
+        EXPECT_EQ(back.find("name")->asString(), "retsim \"gate\"");
+        // Numbers survive bit-exactly through dump/parse.
+        EXPECT_EQ(back.find("value")->asNumber(), 0.1 + 0.2);
+        EXPECT_FALSE(back.find("list")->items()[1].asBool());
+    }
+}
+
+TEST(Json, SetOverwritesAndPreservesOrder)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("z", JsonValue(1.0));
+    obj.set("a", JsonValue(2.0));
+    obj.set("z", JsonValue(3.0));
+    ASSERT_EQ(obj.members().size(), 2u);
+    EXPECT_EQ(obj.members()[0].first, "z");
+    EXPECT_DOUBLE_EQ(obj.members()[0].second.asNumber(), 3.0);
+    EXPECT_EQ(obj.members()[1].first, "a");
 }
 
 } // namespace

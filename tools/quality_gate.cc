@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Quality-regression gate over the four vision applications.
+ *
+ * Runs miniature, pinned-seed configurations of stereo, denoising,
+ * motion and segmentation through the new-design RSU sampler and
+ * compares each app's quality metric against the checked-in baselines
+ * (tests/golden/quality_baselines.json).  Every baseline entry states
+ * an explicit tolerance and which direction is better, so the gate
+ * fails (exit 1) only on a genuine regression beyond tolerance —
+ * improvements just print.  `--update-baselines` rewrites the file
+ * from the current run; `--telemetry-out=<path>` additionally dumps
+ * the full run telemetry for CI artifacts.
+ *
+ * Everything here is deterministic per (seed, binary): the solvers
+ * consume only their own RNG streams.  The tolerances exist to absorb
+ * cross-toolchain libm differences, not run-to-run noise.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/denoising.hh"
+#include "apps/motion.hh"
+#include "apps/segmentation.hh"
+#include "apps/stereo.hh"
+#include "core/rsu_config.hh"
+#include "core/sampler_rsu.hh"
+#include "img/synthetic.hh"
+#include "obs/telemetry_cli.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
+
+namespace {
+
+using namespace retsim;
+
+/** One gated quantity: where better lies and how much slack. */
+struct MetricDef
+{
+    const char *name;
+    const char *better; ///< "lower" or "higher"
+    double tolerance;   ///< absolute slack beyond the baseline
+};
+
+/**
+ * The gated metrics.  Tolerances absorb discrete label flips from
+ * libm differences on the miniature scenes; they are far tighter than
+ * any real quality regression (e.g. a sampler bug typically moves
+ * stereo BP by tens of points).
+ */
+constexpr MetricDef kMetrics[] = {
+    {"stereo.bad_pixel_percent", "lower", 6.0},
+    {"stereo.rms_error", "lower", 1.0},
+    {"denoising.psnr_restored_db", "higher", 1.5},
+    {"motion.end_point_error", "lower", 0.35},
+    {"segmentation.voi", "lower", 0.30},
+    {"segmentation.pri", "higher", 0.05},
+};
+
+core::RsuSampler
+makeSampler()
+{
+    return core::RsuSampler(core::RsuConfig::newDesign());
+}
+
+/** Pinned miniature configs; one map entry per gated metric. */
+std::map<std::string, double>
+runMiniatureApps()
+{
+    std::map<std::string, double> values;
+
+    {
+        img::StereoSceneSpec spec;
+        spec.name = "gate";
+        spec.width = 64;
+        spec.height = 48;
+        spec.numLabels = 12;
+        spec.numObjects = 4;
+        auto scene = img::makeStereoScene(spec, 5);
+        auto sampler = makeSampler();
+        auto result = apps::runStereo(
+            scene, sampler, apps::defaultStereoSolver(60, 9));
+        values["stereo.bad_pixel_percent"] = result.badPixelPercent;
+        values["stereo.rms_error"] = result.rmsError;
+        std::printf("stereo        BP %.2f%%  RMS %.3f\n",
+                    result.badPixelPercent, result.rmsError);
+    }
+
+    {
+        // Piecewise-constant texture card, the denoising test idiom.
+        img::ImageU8 clean(56, 48);
+        for (int y = 0; y < clean.height(); ++y)
+            for (int x = 0; x < clean.width(); ++x)
+                clean(x, y) = static_cast<std::uint8_t>(
+                    x < 19 ? 40 : (x < 38 ? 150 : 210));
+        auto noisy = apps::addGaussianNoise(clean, 20.0, 7);
+        auto sampler = makeSampler();
+        apps::DenoisingParams params;
+        params.levels = 16;
+        auto result = apps::runDenoising(
+            clean, noisy, sampler,
+            apps::defaultDenoisingSolver(30, 11), params);
+        values["denoising.psnr_restored_db"] = result.psnrRestored;
+        std::printf("denoising     PSNR %.2f dB (noisy %.2f dB)\n",
+                    result.psnrRestored, result.psnrNoisy);
+    }
+
+    {
+        img::MotionSceneSpec spec;
+        spec.name = "gate";
+        spec.width = 48;
+        spec.height = 40;
+        spec.windowRadius = 2;
+        spec.numObjects = 3;
+        auto scene = img::makeMotionScene(spec, 17);
+        auto sampler = makeSampler();
+        auto result = apps::runMotion(
+            scene, sampler, apps::defaultMotionSolver(40, 13));
+        values["motion.end_point_error"] = result.endPointError;
+        std::printf("motion        EPE %.4f px\n",
+                    result.endPointError);
+    }
+
+    {
+        img::SegmentationSceneSpec spec;
+        spec.name = "gate";
+        spec.width = 48;
+        spec.height = 48;
+        spec.numSegments = 4;
+        spec.numRegions = 10;
+        auto scene = img::makeSegmentationScene(spec, 23);
+        auto sampler = makeSampler();
+        auto result = apps::runSegmentation(
+            scene, sampler, apps::defaultSegmentationSolver(30, 19));
+        values["segmentation.voi"] = result.voi;
+        values["segmentation.pri"] = result.pri;
+        std::printf("segmentation  VoI %.4f  PRI %.4f\n", result.voi,
+                    result.pri);
+    }
+
+    return values;
+}
+
+util::JsonValue
+baselinesToJson(const std::map<std::string, double> &values)
+{
+    util::JsonValue metrics = util::JsonValue::object();
+    for (const MetricDef &def : kMetrics) {
+        auto it = values.find(def.name);
+        if (it == values.end())
+            continue;
+        util::JsonValue entry = util::JsonValue::object();
+        entry.set("value", util::JsonValue(it->second));
+        entry.set("tolerance", util::JsonValue(def.tolerance));
+        entry.set("better", util::JsonValue(std::string(def.better)));
+        metrics.set(def.name, std::move(entry));
+    }
+    util::JsonValue root = util::JsonValue::object();
+    root.set("metrics", std::move(metrics));
+    return root;
+}
+
+int
+updateBaselines(const std::string &path,
+                const std::map<std::string, double> &values)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "quality_gate: cannot write %s\n",
+                     path.c_str());
+        return 2;
+    }
+    out << baselinesToJson(values).dump(2);
+    std::printf("baselines written to %s\n", path.c_str());
+    return 0;
+}
+
+int
+compareAgainst(const std::string &path,
+               const std::map<std::string, double> &values)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr,
+                     "quality_gate: cannot read baselines %s "
+                     "(run with --update-baselines to create)\n",
+                     path.c_str());
+        return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    util::JsonValue root;
+    std::string error;
+    if (!util::JsonValue::parse(buf.str(), &root, &error)) {
+        std::fprintf(stderr, "quality_gate: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+    }
+    const util::JsonValue *metrics = root.find("metrics");
+    if (!metrics || !metrics->isObject()) {
+        std::fprintf(stderr,
+                     "quality_gate: %s has no \"metrics\" object\n",
+                     path.c_str());
+        return 2;
+    }
+
+    int regressions = 0;
+    std::printf("\n%-30s %10s %10s %10s  %s\n", "metric", "baseline",
+                "observed", "delta", "status");
+    for (const auto &[name, entry] : metrics->members()) {
+        const util::JsonValue *value = entry.find("value");
+        const util::JsonValue *tolerance = entry.find("tolerance");
+        const util::JsonValue *better = entry.find("better");
+        if (!value || !value->isNumber() || !tolerance ||
+            !tolerance->isNumber() || !better || !better->isString()) {
+            std::fprintf(stderr,
+                         "quality_gate: malformed baseline entry "
+                         "\"%s\"\n",
+                         name.c_str());
+            return 2;
+        }
+        auto it = values.find(name);
+        if (it == values.end()) {
+            std::fprintf(stderr,
+                         "quality_gate: no observed value for "
+                         "baseline \"%s\"\n",
+                         name.c_str());
+            return 2;
+        }
+        double base = value->asNumber();
+        double tol = tolerance->asNumber();
+        double observed = it->second;
+        double delta = observed - base;
+        bool lower_better = better->asString() == "lower";
+        bool regressed = lower_better ? observed > base + tol
+                                      : observed < base - tol;
+        if (regressed)
+            ++regressions;
+        std::printf("%-30s %10.4f %10.4f %+10.4f  %s\n", name.c_str(),
+                    base, observed, delta,
+                    regressed ? "REGRESSED" : "ok");
+    }
+    if (regressions > 0) {
+        std::fprintf(stderr,
+                     "\nquality_gate: %d metric(s) regressed beyond "
+                     "tolerance\n",
+                     regressions);
+        return 1;
+    }
+    std::printf("\nquality_gate: all metrics within tolerance\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::CliArgs args(argc, argv);
+    const std::string baselines = args.getString(
+        "baselines", "tests/golden/quality_baselines.json");
+
+    // Installs a recorder for the whole run when --telemetry-out is
+    // given; every solver sweep and app quality sample lands in it.
+    obs::TelemetryScope telemetry =
+        obs::telemetryFromCli(args, "quality_gate");
+
+    std::map<std::string, double> values = runMiniatureApps();
+
+    if (args.getBool("update-baselines", false))
+        return updateBaselines(baselines, values);
+    return compareAgainst(baselines, values);
+}
