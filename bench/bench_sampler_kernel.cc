@@ -21,9 +21,14 @@
 
 #include "apps/stereo.hh"
 #include "bench_common.hh"
+#include "core/energy_to_lambda.hh"
 #include "core/sampler_cdf.hh"
+#include "core/ttf_race.hh"
 #include "img/image.hh"
 #include "mrf/problem.hh"
+#include "simd/kernels.hh"
+#include "simd/simd_cli.hh"
+#include "util/fixed_point.hh"
 
 namespace {
 
@@ -37,6 +42,7 @@ struct PlaneSet
     std::vector<std::vector<float>> energies; // one plane per row
     std::vector<std::vector<int>> current;    // labels per row
     std::size_t totalPixels = 0;
+    img::LabelMap labels; // the labeling the planes were cut from
 };
 
 PlaneSet
@@ -68,6 +74,7 @@ gatherPlanes(const mrf::MrfProblem &problem, std::uint64_t seed)
             set.current.push_back(std::move(cur));
         }
     }
+    set.labels = std::move(labels);
     return set;
 }
 
@@ -184,6 +191,118 @@ timeKernel(const bench::SamplerFactory &factory, const PlaneSet &set,
     return result;
 }
 
+/** Where the sample time goes, one stage at a time: the four hot
+ *  kernels of the batched pipeline measured in isolation on the same
+ *  planes (exp-draw at the sampler's per-pixel burst width, so the
+ *  numbers add up to roughly the batched ns/sample above). */
+struct KernelBreakdown
+{
+    double expDrawNsPerDraw = 0.0;      ///< -log(u)/lambda conversion
+    double energyPlaneNsPerLabel = 0.0; ///< conditionalEnergiesRow
+    double raceNsPerPixel = 0.0;        ///< runTtfRaceRow (binned)
+    double eToLambdaNsPerLabel = 0.0;   ///< quantize + table gather
+};
+
+KernelBreakdown
+timeBreakdown(const mrf::MrfProblem &problem, const PlaneSet &set,
+              double temperature, int reps, std::uint64_t seed)
+{
+    KernelBreakdown bd;
+    const std::size_t m = static_cast<std::size_t>(set.m);
+    const simd::KernelTable &kern = simd::kernels();
+    auto bestOf = [&](auto &&fn, std::size_t units) {
+        fn(); // warm-up, untimed
+        double best = 1e300;
+        for (int rep = 0; rep < reps; ++rep) {
+            auto start = std::chrono::steady_clock::now();
+            fn();
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - start;
+            best = std::min(best, dt.count());
+        }
+        return best * 1e9 / static_cast<double>(units);
+    };
+
+    // The RSU's energy-to-rate table at this temperature (what the
+    // batched sampler gathers through), and whether every entry fires.
+    core::RsuConfig cfg = core::RsuConfig::newDesign();
+    auto lut = core::LambdaLutCache::global().get(cfg, temperature);
+    const std::size_t entries = std::size_t{1} << cfg.energyBits;
+    std::vector<double> table(entries);
+    bool all_fire = true;
+    for (std::size_t e = 0; e < entries; ++e) {
+        table[e] = static_cast<double>(lut->lookup(e)) * cfg.lambda0();
+        all_fire = all_fire && table[e] > 0.0;
+    }
+    const double top =
+        static_cast<double>(util::maxUnsigned(cfg.energyBits));
+
+    // exp-draw, chunked at the per-pixel burst width m.
+    {
+        const std::size_t n = m * 4096;
+        std::vector<double> u(n), rates(n), out(n);
+        rng::Xoshiro256 gen(seed);
+        gen.fillUniformOpenLow(u);
+        for (double &r : rates)
+            r = 0.05 + gen.nextDouble() * 4.0;
+        bd.expDrawNsPerDraw = bestOf(
+            [&] {
+                for (std::size_t off = 0; off < n; off += m)
+                    kern.expDraw(u.data() + off, rates.data() + off,
+                                 out.data() + off, m);
+            },
+            n);
+    }
+
+    // energy-plane: the conditional-energy rows the planes came from.
+    {
+        std::vector<float> plane(
+            static_cast<std::size_t>((problem.width() + 1) / 2) * m);
+        bd.energyPlaneNsPerLabel = bestOf(
+            [&] {
+                for (int color = 0; color < 2; ++color)
+                    for (int y = 0; y < problem.height(); ++y)
+                        problem.conditionalEnergiesRow(
+                            set.labels, y, (y + color) % 2, 2, plane);
+            },
+            set.totalPixels * m);
+    }
+
+    // e->lambda: quantize + gather every pixel of every plane.
+    std::vector<std::vector<double>> rate_planes;
+    for (const std::vector<float> &plane : set.energies)
+        rate_planes.emplace_back(plane.size());
+    auto convert_all = [&] {
+        for (std::size_t r = 0; r < set.energies.size(); ++r) {
+            const std::vector<float> &plane = set.energies[r];
+            double *rates = rate_planes[r].data();
+            for (std::size_t p = 0; p * m < plane.size(); ++p)
+                kern.quantizeGatherRates(plane.data() + p * m, top,
+                                         cfg.decayRateScaling,
+                                         table.data(), rates + p * m,
+                                         m);
+        }
+    };
+    bd.eToLambdaNsPerLabel = bestOf(convert_all, set.totalPixels * m);
+
+    // race: the full TTF race rows over those rate planes.
+    {
+        core::RaceRowScratch scratch;
+        std::vector<core::RaceOutcome> outcomes;
+        bd.raceNsPerPixel = bestOf(
+            [&] {
+                rng::Xoshiro256 gen(seed + 1);
+                for (const std::vector<double> &rates : rate_planes) {
+                    outcomes.resize(rates.size() / m);
+                    core::runTtfRaceRow(rates, m, cfg, gen, outcomes,
+                                        scratch, all_fire);
+                }
+            },
+            set.totalPixels);
+    }
+    return bd;
+}
+
 } // namespace
 
 int
@@ -202,6 +321,8 @@ main(int argc, char **argv)
         args.getString("out", "BENCH_sampler_kernel.json");
     const int hw = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
+    const char *backend =
+        simd::backendName(simd::backendFromCli(args));
 
     bench::printHeader(
         "Sampling kernel throughput: per-pixel sample() vs. batched "
@@ -227,9 +348,10 @@ main(int argc, char **argv)
     std::vector<double> tail_schedule =
         temperatureSchedule(temps, tail_t0, std::min(tail_t0, t_end));
     std::printf("grid %dx%d, %d labels, %zu pixels/pass, %d "
-                "temperatures, %d reps, %d hardware threads\n",
+                "temperatures, %d reps, %d hardware threads, simd "
+                "backend %s\n",
                 size, size, labels, planes.totalPixels, temps, reps,
-                hw);
+                hw, backend);
 
     struct Entry
     {
@@ -268,11 +390,12 @@ main(int argc, char **argv)
     std::fprintf(f,
                  "{\n  \"bench\": \"sampler_kernel\",\n"
                  "  \"batched\": true,\n"
+                 "  \"simd_backend\": \"%s\",\n"
                  "  \"grid\": [%d, %d],\n  \"labels\": %d,\n"
                  "  \"temperatures\": %d,\n  \"reps\": %d,\n"
                  "  \"seed\": %llu,\n  \"hardware_threads\": %d,\n"
                  "  \"samplers\": [",
-                 size, size, labels, temps, reps,
+                 backend, size, size, labels, temps, reps,
                  static_cast<unsigned long long>(seed), hw);
 
     bool first = true;
@@ -298,7 +421,25 @@ main(int argc, char **argv)
                      t.outputsMatch ? "true" : "false");
         first = false;
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    KernelBreakdown bd = timeBreakdown(problem, planes,
+                                       schedule.front(), reps, seed);
+    std::printf("\nper-kernel breakdown (rsu-new-design stages at "
+                "t0 = %g):\n"
+                "  exp-draw %6.2f ns/draw   energy-plane %6.2f "
+                "ns/label   race %6.2f ns/pixel   e->lambda %6.2f "
+                "ns/label\n",
+                schedule.front(), bd.expDrawNsPerDraw,
+                bd.energyPlaneNsPerLabel, bd.raceNsPerPixel,
+                bd.eToLambdaNsPerLabel);
+    std::fprintf(f,
+                 "\n  ],\n  \"kernel_breakdown\": {\n"
+                 "    \"exp_draw_ns_per_draw\": %.2f,\n"
+                 "    \"energy_plane_ns_per_label\": %.2f,\n"
+                 "    \"race_ns_per_pixel\": %.2f,\n"
+                 "    \"e_to_lambda_ns_per_label\": %.2f\n"
+                 "  }\n}\n",
+                 bd.expDrawNsPerDraw, bd.energyPlaneNsPerLabel,
+                 bd.raceNsPerPixel, bd.eToLambdaNsPerLabel);
     std::fclose(f);
     std::printf("\nwrote %s\n", out.c_str());
     return all_match ? 0 : 1;

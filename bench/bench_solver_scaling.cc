@@ -22,6 +22,7 @@
 #include "bench_common.hh"
 #include "img/synthetic.hh"
 #include "mrf/checkerboard.hh"
+#include "simd/simd_cli.hh"
 
 namespace {
 
@@ -90,13 +91,16 @@ main(int argc, char **argv)
         args.getString("out", "BENCH_solver_scaling.json");
     const int hw = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
+    const char *backend =
+        simd::backendName(simd::backendFromCli(args));
 
     bench::printHeader(
         "Chromatic Gibbs sweep throughput: serial vs. row-striped "
         "threading",
         "software substrate of the concurrent RSU-G array (Sec. II-C)");
-    std::printf("grid %dx%d, %d sweeps, %d hardware threads\n", size,
-                size, sweeps, hw);
+    std::printf("grid %dx%d, %d sweeps, %d hardware threads, simd "
+                "backend %s\n",
+                size, size, sweeps, hw, backend);
 
     // Thread counts 1/2/4/N, deduplicated and capped at the machine.
     std::set<int> thread_set{1, 2, 4, hw};
@@ -138,11 +142,12 @@ main(int argc, char **argv)
     std::fprintf(f,
                  "{\n  \"bench\": \"solver_scaling\",\n"
                  "  \"batched\": true,\n"
+                 "  \"simd_backend\": \"%s\",\n"
                  "  \"grid\": [%d, %d],\n  \"sweeps\": %d,\n"
                  "  \"seed\": %llu,\n  \"hardware_threads\": %d,\n"
                  "  \"sampler\": \"software-float\",\n"
                  "  \"workloads\": [",
-                 size, size, sweeps,
+                 backend, size, size, sweeps,
                  static_cast<unsigned long long>(seed), hw);
 
     bool first_workload = true;

@@ -20,6 +20,7 @@
 #include "img/synthetic.hh"
 #include "metrics/stereo_metrics.hh"
 #include "mrf/checkerboard.hh"
+#include "simd/simd_cli.hh"
 #include "util/cli.hh"
 
 using namespace retsim;
@@ -28,6 +29,7 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    simd::backendFromCli(args); // --simd= dispatch override
     hw::AcceleratorConfig cfg;
     cfg.memBandwidthBytes =
         args.getDouble("bandwidth-gbps", 336.0) * 1e9;

@@ -17,6 +17,7 @@
 #include "img/pgm_io.hh"
 #include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
+#include "simd/simd_cli.hh"
 #include "util/cli.hh"
 
 using namespace retsim;
@@ -51,6 +52,7 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    simd::backendFromCli(args); // --simd= dispatch override
     obs::TelemetryScope telemetry =
         obs::telemetryFromCli(args, "denoising");
     const double sigma = args.getDouble("sigma", 25.0);

@@ -19,6 +19,7 @@
 #include "hw/cost_model.hh"
 #include "img/synthetic.hh"
 #include "ret/truncation.hh"
+#include "simd/simd_cli.hh"
 #include "util/cli.hh"
 
 using namespace retsim;
@@ -27,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    simd::backendFromCli(args); // --simd= dispatch override
 
     core::RsuConfig cfg = core::RsuConfig::newDesign();
     if (args.has("config")) {

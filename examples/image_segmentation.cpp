@@ -18,6 +18,7 @@
 #include "img/pgm_io.hh"
 #include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
+#include "simd/simd_cli.hh"
 #include "util/cli.hh"
 
 using namespace retsim;
@@ -26,6 +27,7 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    simd::backendFromCli(args); // --simd= dispatch override
     obs::TelemetryScope telemetry =
         obs::telemetryFromCli(args, "image_segmentation");
     const int segments = static_cast<int>(args.getInt("segments", 4));

@@ -17,6 +17,7 @@
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
 #include "img/synthetic.hh"
+#include "simd/simd_cli.hh"
 #include "util/cli.hh"
 
 using namespace retsim;
@@ -25,6 +26,7 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    simd::backendFromCli(args); // --simd= dispatch override
     apps::PyramidParams params;
     params.levels = static_cast<int>(args.getInt("levels", 2));
     params.windowRadius = static_cast<int>(args.getInt("radius", 3));

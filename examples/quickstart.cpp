@@ -17,6 +17,7 @@
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
 #include "rng/rng.hh"
+#include "simd/simd_cli.hh"
 #include "util/cli.hh"
 
 using namespace retsim;
@@ -25,6 +26,7 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    simd::backendFromCli(args); // --simd= dispatch override
     const double temperature = args.getDouble("temperature", 8.0);
     const int draws = static_cast<int>(args.getInt("draws", 100000));
 

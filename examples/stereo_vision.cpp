@@ -25,6 +25,7 @@
 #include "img/pgm_io.hh"
 #include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
+#include "simd/simd_cli.hh"
 #include "util/cli.hh"
 
 using namespace retsim;
@@ -33,6 +34,7 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    simd::backendFromCli(args); // --simd= dispatch override
     obs::TelemetryScope telemetry =
         obs::telemetryFromCli(args, "stereo_vision");
     const std::string which = args.getString("scene", "teddy");

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.hh"
+#include "simd/kernels.hh"
 #include "util/fixed_point.hh"
 #include "util/logging.hh"
 
@@ -14,21 +15,19 @@ double
 realLambda(double e, double t, const RsuConfig &cfg)
 {
     RETSIM_ASSERT(t > 0.0, "temperature must be positive");
-    return std::exp(-e / t) * static_cast<double>(cfg.lambdaMax());
+    // retsim vecmath, not std::exp: entry e of a batched LambdaLut
+    // build must equal the scalar conversion bit for bit.
+    return simd::sexp(-e / t) * static_cast<double>(cfg.lambdaMax());
 }
 
 std::uint32_t
-quantizeLambda(double e, double t, const RsuConfig &cfg)
+quantizeLambdaFromReal(double real, const RsuConfig &cfg)
 {
     RETSIM_ASSERT(cfg.lambdaQuant != LambdaQuant::Float,
                   "quantizeLambda called in float-lambda mode");
     const std::uint32_t lambda_max = cfg.lambdaMax();
-    if (e <= 0.0)
-        return lambda_max; // E = 0 maps to the largest lambda
-
-    // Multiply by the scale and truncate to the nearest integer
-    // (Sec. III-C.2).
-    std::uint64_t li = util::truncateToInt(realLambda(e, t, cfg));
+    // Truncate the scaled rate to the nearest integer (Sec. III-C.2).
+    std::uint64_t li = util::truncateToInt(real);
     if (li < 1) {
         // Probability too small for lambda_0: cut off, or clamp up to
         // lambda_0 as the previous design did.
@@ -41,15 +40,35 @@ quantizeLambda(double e, double t, const RsuConfig &cfg)
     return static_cast<std::uint32_t>(li);
 }
 
+std::uint32_t
+quantizeLambda(double e, double t, const RsuConfig &cfg)
+{
+    RETSIM_ASSERT(cfg.lambdaQuant != LambdaQuant::Float,
+                  "quantizeLambda called in float-lambda mode");
+    if (e <= 0.0)
+        return cfg.lambdaMax(); // E = 0 maps to the largest lambda
+    return quantizeLambdaFromReal(realLambda(e, t, cfg), cfg);
+}
+
 LambdaLut::LambdaLut(const RsuConfig &cfg, double temperature)
     : cfg_(cfg), temperature_(temperature)
 {
     cfg.validate();
+    RETSIM_ASSERT(temperature > 0.0, "temperature must be positive");
     std::size_t entries = std::size_t{1} << cfg.energyBits;
     table_.resize(entries);
+    // Batched build: one dispatched expBatch over the -e/T grid, then
+    // the shared integer quantization per entry.  expBatch lanes are
+    // bit-identical to the sexp() inside realLambda(), so the table
+    // matches a quantizeLambda() loop exactly (asserted by tests).
+    std::vector<double> exps(entries);
     for (std::size_t e = 0; e < entries; ++e)
-        table_[e] =
-            quantizeLambda(static_cast<double>(e), temperature, cfg);
+        exps[e] = -static_cast<double>(e) / temperature;
+    simd::kernels().expBatch(exps.data(), exps.data(), entries);
+    const double scale = static_cast<double>(cfg.lambdaMax());
+    table_[0] = cfg.lambdaMax(); // E = 0 maps to the largest lambda
+    for (std::size_t e = 1; e < entries; ++e)
+        table_[e] = quantizeLambdaFromReal(exps[e] * scale, cfg);
 }
 
 std::uint32_t

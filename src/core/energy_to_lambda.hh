@@ -45,7 +45,17 @@ namespace core {
  */
 std::uint32_t quantizeLambda(double e, double t, const RsuConfig &cfg);
 
-/** Continuous-valued decay rate multiplier exp(-e/T) * lambdaMax. */
+/**
+ * The integer half of quantizeLambda(): truncate an already-computed
+ * continuous rate (realLambda() or one lane of a batched expBatch
+ * over the -e/T grid — bit-identical by the vecmath contract) and
+ * apply cut-off / power-of-two rounding / clamping.  Split out so the
+ * batched LambdaLut build shares the exact quantization rule.
+ */
+std::uint32_t quantizeLambdaFromReal(double real, const RsuConfig &cfg);
+
+/** Continuous-valued decay rate multiplier exp(-e/T) * lambdaMax,
+ *  computed with retsim vecmath (simd::sexp, not std::exp). */
 double realLambda(double e, double t, const RsuConfig &cfg);
 
 class LambdaLut

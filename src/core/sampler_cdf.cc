@@ -1,8 +1,8 @@
 #include "core/sampler_cdf.hh"
 
 #include <algorithm>
-#include <cmath>
 
+#include "simd/kernels.hh"
 #include "util/logging.hh"
 
 namespace retsim {
@@ -40,11 +40,15 @@ CdfLutSampler::sample(std::span<const float> energies,
 
     // Build the cumulative table the hardware would store, then
     // invert it with one uniform draw from the device under study.
+    // Weights come from the dispatched vecmath kernel (bit-identical
+    // to sampleRow()); the running sum keeps the scalar order.
     cdf_.resize(energies.size());
+    simd::kernels().expWeights(energies.data(),
+                               static_cast<double>(e_min), temperature,
+                               cdf_.data(), energies.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < energies.size(); ++i) {
-        acc += std::exp(-(static_cast<double>(energies[i]) - e_min) /
-                        temperature);
+        acc += cdf_[i];
         cdf_[i] = acc;
     }
 
@@ -89,10 +93,11 @@ CdfLutSampler::sampleRow(std::span<const float> energies,
         for (std::size_t i = 0; i < m; ++i)
             e_min = std::min(e_min, e[i]);
 
+        simd::kernels().expWeights(e, static_cast<double>(e_min),
+                                   temperature, cdf_.data(), m);
         double acc = 0.0;
         for (std::size_t i = 0; i < m; ++i) {
-            acc += std::exp(-(static_cast<double>(e[i]) - e_min) /
-                            temperature);
+            acc += cdf_[i];
             cdf_[i] = acc;
         }
 

@@ -4,39 +4,12 @@
 #include <cmath>
 
 #include "core/ttf_race.hh"
+#include "simd/kernels.hh"
 #include "util/fixed_point.hh"
 #include "util/logging.hh"
 
 namespace retsim {
 namespace core {
-
-namespace {
-
-/**
- * Quantize one pixel's label energies, staying in the double domain,
- * and return the quantized minimum.  Value-identical to
- * util::quantizeUnsigned() per label (negatives and NaN to 0,
- * round-to-nearest-even, saturate at the top code) — every produced
- * value is a small integer held exactly in a double — but branch-free
- * and integer-conversion-free so the row vectorizes.
- */
-inline double
-quantizeLabelRow(const float *e, std::size_t m, unsigned bits,
-                 double *q)
-{
-    const double top = static_cast<double>(util::maxUnsigned(bits));
-    double e_min = top;
-    for (std::size_t j = 0; j < m; ++j) {
-        double r = std::nearbyint(static_cast<double>(e[j]));
-        r = r > 0.0 ? r : 0.0; // negatives and NaN clamp to zero
-        r = r < top ? r : top;
-        q[j] = r;
-        e_min = e_min < r ? e_min : r;
-    }
-    return e_min;
-}
-
-} // namespace
 
 RsuSampler::RsuSampler(const RsuConfig &cfg) : cfg_(cfg)
 {
@@ -88,10 +61,16 @@ RsuSampler::refreshRateTable(double temperature)
     const std::size_t entries = std::size_t{1} << cfg_.energyBits;
     rateTable_.resize(entries);
     if (cfg_.lambdaQuant == LambdaQuant::Float) {
+        // Batched build: expBatch over the -e/T grid is bit-identical
+        // to the sexp() inside realLambda(), and the two scale
+        // multiplies keep realLambda()'s association order.
+        const double scale = static_cast<double>(cfg_.lambdaMax());
         for (std::size_t e = 0; e < entries; ++e)
-            rateTable_[e] = realLambda(static_cast<double>(e),
-                                       temperature, cfg_) *
-                            lambda0;
+            rateTable_[e] = -static_cast<double>(e) / temperature;
+        simd::kernels().expBatch(rateTable_.data(), rateTable_.data(),
+                                 entries);
+        for (std::size_t e = 0; e < entries; ++e)
+            rateTable_[e] = rateTable_[e] * scale * lambda0;
     } else {
         for (std::size_t e = 0; e < entries; ++e)
             rateTable_[e] =
@@ -192,60 +171,27 @@ RsuSampler::sampleRow(std::span<const float> energies, int numLabels,
     refreshConversion(temperature);
     const double lambda0 = cfg_.lambda0();
 
-    if (!cfg_.floatEnergy &&
-        cfg_.timeQuant == TimeQuant::Binned &&
-        cfg_.tieBreak == TieBreak::Random) {
-        // Random tie-breaks force a per-pixel race (interleaved tie
-        // draws), so there is no bulk stage to feed a whole-plane rate
-        // buffer into.  Fuse the pipeline per pixel instead: quantize,
-        // gather rates from the per-temperature table, race — one
-        // m-sized buffer that never leaves L1.  A single downcast
-        // devirtualizes every draw of the row.
-        refreshRateTable(temperature);
-        const double *table = rateTable_.data();
-        auto *xo = dynamic_cast<rng::Xoshiro256 *>(&gen);
-        rates_.resize(m);
-        for (std::size_t p = 0; p < n; ++p) {
-            const float *e = energies.data() + p * m;
-            double e_min = quantizeLabelRow(e, m, cfg_.energyBits,
-                                            rates_.data());
-            if (!cfg_.decayRateScaling)
-                e_min = 0.0;
-            for (std::size_t j = 0; j < m; ++j)
-                rates_[j] = table[static_cast<std::size_t>(
-                    rates_[j] - e_min)];
-            RaceOutcome oc =
-                xo ? runTtfRaceBinned(rates_, cfg_, *xo)
-                   : runTtfRace(rates_, cfg_, gen);
-            if (oc.winner < 0) {
-                ++noSampleEvents_;
-                out[p] = current[p];
-                continue;
-            }
-            if (oc.tie)
-                ++tieEvents_;
-            out[p] = oc.winner;
-        }
-        return;
-    }
-
     rates_.resize(n * m);
     if (!cfg_.floatEnergy) {
         // Quantized energies index the per-temperature rate table
-        // directly, so stages 1-3 are one quantization pass (the
-        // scalar path quantizes twice: once scanning for E_min, once
-        // converting) and one table load per label.
+        // directly, so stages 1-3 are one quantization pass per pixel
+        // (the scalar path quantizes twice: once scanning for E_min,
+        // once converting) fused with its table gather, feeding a
+        // row-sized rate plane that stays in L1.  The row race
+        // consumes the plane in pixel order, so a Random tie-break's
+        // extra draw still lands between its pixel's uniforms and the
+        // next pixel's — the quantization stage draws nothing and
+        // commutes with the races.
         refreshRateTable(temperature);
         const double *table = rateTable_.data();
+        const auto &kern = simd::kernels();
+        const double top =
+            static_cast<double>(util::maxUnsigned(cfg_.energyBits));
         for (std::size_t p = 0; p < n; ++p) {
             const float *e = energies.data() + p * m;
-            double *r = rates_.data() + p * m;
-            double e_min =
-                quantizeLabelRow(e, m, cfg_.energyBits, r);
-            if (!cfg_.decayRateScaling)
-                e_min = 0.0;
-            for (std::size_t j = 0; j < m; ++j)
-                r[j] = table[static_cast<std::size_t>(r[j] - e_min)];
+            kern.quantizeGatherRates(e, top, cfg_.decayRateScaling,
+                                     table, rates_.data() + p * m,
+                                     m);
         }
         outcomes_.resize(n);
         runTtfRaceRow(rates_, m, cfg_, gen, outcomes_, raceScratch_,

@@ -1,9 +1,9 @@
 #include "core/sampler_software.hh"
 
 #include <algorithm>
-#include <cmath>
 
 #include "rng/distributions.hh"
+#include "simd/kernels.hh"
 #include "util/logging.hh"
 
 namespace retsim {
@@ -21,11 +21,13 @@ SoftwareSampler::sample(std::span<const float> energies,
     for (float e : energies)
         e_min = std::min(e_min, e);
 
+    // exp((e_min - e_i)/T) through the dispatched vecmath kernel —
+    // the same kernel sampleRow() uses, so scalar and batched weights
+    // are bit-identical.
     weights_.resize(energies.size());
-    for (std::size_t i = 0; i < energies.size(); ++i)
-        weights_[i] = std::exp(-(static_cast<double>(energies[i]) -
-                                 e_min) /
-                               temperature);
+    simd::kernels().expWeights(energies.data(),
+                               static_cast<double>(e_min), temperature,
+                               weights_.data(), energies.size());
     ++samples_;
     return static_cast<int>(rng::sampleCategorical(gen, weights_));
 }
@@ -61,12 +63,11 @@ SoftwareSampler::sampleRow(std::span<const float> energies,
         for (std::size_t i = 0; i < m; ++i)
             e_min = std::min(e_min, e[i]);
 
+        simd::kernels().expWeights(e, static_cast<double>(e_min),
+                                   temperature, weights_.data(), m);
         double total = 0.0;
-        for (std::size_t i = 0; i < m; ++i) {
-            weights_[i] = std::exp(
-                -(static_cast<double>(e[i]) - e_min) / temperature);
+        for (std::size_t i = 0; i < m; ++i)
             total += weights_[i];
-        }
 
         // Inverse-CDF scan, replicating sampleCategorical() decision
         // for decision (including its end-of-range fallback).

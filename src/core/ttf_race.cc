@@ -1,9 +1,7 @@
 #include "core/ttf_race.hh"
 
-#include <cmath>
-#include <limits>
-
 #include "rng/distributions.hh"
+#include "simd/kernels.hh"
 #include "util/logging.hh"
 
 namespace retsim {
@@ -11,146 +9,184 @@ namespace core {
 
 namespace {
 
+/** Scratch for the no-scratch public entries (runTtfRace and the
+ *  per-pixel binned race); per-thread so stripe clones never share. */
+RaceRowScratch &
+threadScratch()
+{
+    thread_local RaceRowScratch scratch;
+    return scratch;
+}
+
 /**
- * Binned race, generic over the generator's static type.  With the
- * abstract rng::Rng every draw is a virtual dispatch; instantiated on
- * a concrete final generator (Xoshiro256) the per-draw advance inlines
- * entirely.  Both instantiations run the same arithmetic on the same
- * draws, so they are bit-identical.
+ * Compact the positive (firing) rates of a plane into @p buf and
+ * return the compacted list.  Aliases @p rates itself when every
+ * label fires (the common case — no copy).  @p all_fire_hint skips
+ * the scan when the caller guarantees positivity.
  */
-template <typename Gen>
-RaceOutcome
-raceBinned(std::span<const double> rates, const RsuConfig &cfg,
-           Gen &gen)
+std::span<const double>
+compactFiring(std::span<const double> rates, std::vector<double> &buf,
+              bool all_fire_hint)
 {
-    const double t_max = static_cast<double>(cfg.tMaxBins());
-    RaceOutcome out;
-    unsigned best_bin = 0;
-    unsigned tied = 0;
-
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        if (!(rates[i] > 0.0))
-            continue;
-        // Inline sampleExponential(): same expression, same draw.
-        double t = -std::log(gen.nextDoubleOpenLow()) / rates[i];
-        unsigned bin;
-        if (t >= t_max) {
-            if (cfg.truncationPolicy == TruncationPolicy::InfiniteTtf)
-                continue; // truncated: "occurs at infinity"
-            bin = cfg.tMaxBins(); // rounded to the window end
-        } else {
-            bin = static_cast<unsigned>(t) + 1;
-        }
-        ++out.contenders;
-
-        if (out.winner < 0 || bin < best_bin) {
-            out.winner = static_cast<int>(i);
-            best_bin = bin;
-            tied = 1;
-        } else if (bin == best_bin) {
-            ++tied;
-            switch (cfg.tieBreak) {
-              case TieBreak::Random:
-                // Reservoir choice keeps each tied label equally
-                // likely without storing the tied set.
-                if (gen.nextBounded(tied) == 0)
-                    out.winner = static_cast<int>(i);
-                break;
-              case TieBreak::First:
-                break; // keep the earlier label
-              case TieBreak::Last:
-                out.winner = static_cast<int>(i);
-                break;
-            }
-        }
+    if (all_fire_hint)
+        return rates;
+    // One branchless pass both counts the firing labels and compacts
+    // their rates (each rate is stored at the running count, which
+    // only advances past positive rates).
+    buf.resize(rates.size());
+    std::size_t firing = 0;
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+        buf[firing] = rates[k];
+        firing += rates[k] > 0.0 ? 1u : 0u;
     }
-    out.winningBin = out.winner >= 0 ? best_bin : 0;
-    out.tie = tied > 1;
-    return out;
-}
-
-RaceOutcome
-raceFloat(std::span<const double> rates, rng::Rng &gen)
-{
-    RaceOutcome out;
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        if (!(rates[i] > 0.0))
-            continue;
-        double t = rng::sampleExponential(gen, rates[i]);
-        ++out.contenders;
-        if (t < best) {
-            best = t;
-            out.winner = static_cast<int>(i);
-        }
-    }
-    return out;
+    if (firing == rates.size())
+        return rates; // nothing cut off: the plane is already compact
+    return {buf.data(), firing};
 }
 
 /**
- * Selection scan of one pixel fed from the precomputed TTF buffer;
- * replicates raceBinned()/raceFloat() decision for decision, with
- * @p next walking the compacted firing-label order.  AllFire
- * specializes away the per-label firing re-check for planes where no
- * label was cut off (the common high-temperature case).
+ * THE race draw stage: one uniform per firing rate via the
+ * generator's bulk fill.  Float mode converts them to TTFs here by
+ * the dispatched -log(u)/lambda vecmath kernel; binned mode leaves
+ * the raw uniforms in scratch.t for the fused expDrawBin kernel in
+ * the selection scan, which applies the identical -log(u)/lambda
+ * arithmetic without materializing the TTFs.  Either way every TTF
+ * anywhere in the race — scalar pixel or bulk row, any tie policy —
+ * consumes raw generator output in the same order and computes
+ * bit-identical times.
+ */
+void
+drawTtfs(rng::Rng &gen, std::span<const double> firing_rates,
+         const RsuConfig &cfg, RaceRowScratch &scratch)
+{
+    scratch.t.resize(firing_rates.size());
+    if (cfg.timeQuant == TimeQuant::Float)
+        rng::fillExponentials(gen, firing_rates, scratch.t);
+    else
+        gen.fillUniformOpenLow(scratch.t);
+}
+
+/**
+ * Selection scan of one pixel fed from the draw buffer (TTFs in
+ * float mode, raw uniforms in binned mode — see drawTtfs), with
+ * @p next walking the compacted firing-label order shared by the
+ * draw buffer and @p firing_rates.  AllFire specializes away the
+ * per-label firing re-check for planes where no label was cut off
+ * (the common high-temperature case).
+ *
+ * Float mode reduces with the dispatched argmin kernel (first strict
+ * minimum, the same rule as a scalar scan).  Binned mode reduces
+ * with the fused expDrawBin kernel (draw + quantize + truncate +
+ * min-bin bookkeeping, branch-free) and resolves the winner from the
+ * final minimum bin per cfg.tieBreak.  Random ties draw a single
+ * gen.nextBounded(tied) among the labels tied at that minimum —
+ * AFTER the pixel's TTF uniforms, so the pixel's draw layout is:
+ * firing TTF uniforms in label order, then at most one tie draw.
  */
 template <bool AllFire>
 RaceOutcome
 selectFromTtfs(std::span<const double> rates,
-               std::span<const double> ttfs, std::size_t &next,
-               const RsuConfig &cfg)
+               std::span<const double> firing_rates,
+               std::span<const double> draws, std::size_t &next,
+               const RsuConfig &cfg, rng::Rng &gen,
+               std::vector<double> &bin_scratch)
 {
     RaceOutcome out;
     if (cfg.timeQuant == TimeQuant::Float) {
-        double best = std::numeric_limits<double>::infinity();
-        for (std::size_t i = 0; i < rates.size(); ++i) {
-            if constexpr (!AllFire) {
+        std::size_t firing = rates.size();
+        if constexpr (!AllFire) {
+            firing = 0;
+            for (double r : rates)
+                firing += r > 0.0 ? 1u : 0u;
+        }
+        if (firing == 0)
+            return out;
+        std::size_t j =
+            simd::kernels().argmin(draws.data() + next, firing);
+        next += firing;
+        out.contenders = static_cast<unsigned>(firing);
+        if constexpr (AllFire) {
+            out.winner = static_cast<int>(j);
+        } else {
+            // Map the j-th firing label back to its label index.
+            for (std::size_t i = 0; i < rates.size(); ++i) {
                 if (!(rates[i] > 0.0))
                     continue;
-            }
-            double t = ttfs[next++];
-            ++out.contenders;
-            if (t < best) {
-                best = t;
-                out.winner = static_cast<int>(i);
+                if (j-- == 0) {
+                    out.winner = static_cast<int>(i);
+                    break;
+                }
             }
         }
         return out;
     }
 
-    const double t_max = static_cast<double>(cfg.tMaxBins());
-    unsigned best_bin = 0;
-    unsigned tied = 0;
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        if constexpr (!AllFire) {
-            if (!(rates[i] > 0.0))
-                continue;
-        }
-        double t = ttfs[next++];
-        unsigned bin;
-        if (t >= t_max) {
-            if (cfg.truncationPolicy == TruncationPolicy::InfiniteTtf)
-                continue;
-            bin = cfg.tMaxBins();
-        } else {
-            bin = static_cast<unsigned>(t) + 1;
-        }
-        ++out.contenders;
-        if (out.winner < 0 || bin < best_bin) {
-            out.winner = static_cast<int>(i);
-            best_bin = bin;
-            tied = 1;
-        } else if (bin == best_bin) {
-            ++tied;
-            if (cfg.tieBreak == TieBreak::Last)
-                out.winner = static_cast<int>(i);
-            // TieBreak::First keeps the earlier label; Random never
-            // reaches this path (it draws, so it races per pixel).
+    // Binned mode: draw-and-reduce the pixel's compacted uniform
+    // slice with the fused expDrawBin kernel, then resolve the winner
+    // from the final minimum bin.
+    const std::size_t m = rates.size();
+    std::size_t firing = m;
+    if constexpr (!AllFire) {
+        firing = 0;
+        for (double r : rates)
+            firing += r > 0.0 ? 1u : 0u;
+    }
+    if (firing == 0)
+        return out;
+    bin_scratch.resize(firing);
+    double *bins = bin_scratch.data();
+    const simd::BinRaceResult br = simd::kernels().expDrawBin(
+        draws.data() + next, firing_rates.data() + next, firing,
+        static_cast<double>(cfg.tMaxBins()),
+        cfg.truncationPolicy == TruncationPolicy::InfiniteTtf, bins);
+    next += firing;
+    if (br.contenders == 0)
+        return out;
+    out.contenders = br.contenders;
+    out.winningBin = static_cast<unsigned>(br.bestBin);
+    out.tie = br.tied > 1;
+    std::size_t win =
+        cfg.tieBreak == TieBreak::Last ? br.last : br.first;
+    if (out.tie && cfg.tieBreak == TieBreak::Random) {
+        // One uniform choice over the tied set (each tied label
+        // equally likely); j == 0 keeps the first tied index,
+        // otherwise walk to the (j+1)-th index in the minimum bin.
+        std::uint64_t j = gen.nextBounded(br.tied);
+        for (std::size_t i = win + 1; j != 0 && i < firing; ++i) {
+            if (bins[i] == br.bestBin && --j == 0)
+                win = i;
         }
     }
-    out.winningBin = out.winner >= 0 ? best_bin : 0;
-    out.tie = tied > 1;
+    if constexpr (AllFire) {
+        out.winner = static_cast<int>(win);
+    } else {
+        // Map the win-th firing label back to its label index.
+        for (std::size_t i = 0; i < m; ++i) {
+            if (!(rates[i] > 0.0))
+                continue;
+            if (win-- == 0) {
+                out.winner = static_cast<int>(i);
+                break;
+            }
+        }
+    }
     return out;
+}
+
+/** One pixel's race: compact, bulk-draw, scan. */
+RaceOutcome
+racePixel(std::span<const double> rates, const RsuConfig &cfg,
+          rng::Rng &gen, RaceRowScratch &scratch, bool all_fire_hint)
+{
+    std::span<const double> firing =
+        compactFiring(rates, scratch.rates, all_fire_hint);
+    drawTtfs(gen, firing, cfg, scratch);
+    std::size_t next = 0;
+    if (firing.size() == rates.size())
+        return selectFromTtfs<true>(rates, firing, scratch.t, next,
+                                    cfg, gen, scratch.bins);
+    return selectFromTtfs<false>(rates, firing, scratch.t, next, cfg,
+                                 gen, scratch.bins);
 }
 
 } // namespace
@@ -160,16 +196,16 @@ runTtfRace(std::span<const double> rates, const RsuConfig &cfg,
            rng::Rng &gen)
 {
     RETSIM_ASSERT(!rates.empty(), "race needs at least one label");
-    if (cfg.timeQuant == TimeQuant::Float)
-        return raceFloat(rates, gen);
-    return raceBinned(rates, cfg, gen);
+    return racePixel(rates, cfg, gen, threadScratch(),
+                     /*all_fire_hint=*/false);
 }
 
 RaceOutcome
-runTtfRaceBinned(std::span<const double> rates, const RsuConfig &cfg,
-                 rng::Xoshiro256 &gen)
+runTtfRace(std::span<const double> rates, const RsuConfig &cfg,
+           rng::Rng &gen, RaceRowScratch &scratch, bool allFireHint)
 {
-    return raceBinned(rates, cfg, gen);
+    RETSIM_ASSERT(!rates.empty(), "race needs at least one label");
+    return racePixel(rates, cfg, gen, scratch, allFireHint);
 }
 
 void
@@ -183,73 +219,79 @@ runTtfRaceRow(std::span<const double> rates, std::size_t m,
     RETSIM_ASSERT(rates.size() == count * m,
                   "rate plane size mismatch");
 
-    // Random tie-breaks interleave nextBounded() draws between TTF
-    // draws, so bulk-filling uniforms would reassign raw RNG outputs
-    // to different purposes.  Keep the scalar race per pixel there.
+    // Random tie-breaks draw between a pixel's TTF conversion and the
+    // next pixel's TTF uniforms, so the plane cannot be bulk-filled in
+    // one go without reassigning raw RNG outputs; race pixel by pixel
+    // (each pixel still bulk-draws its own TTFs through the shared
+    // exponential-draw kernel, which is where the vecmath win is).
     if (cfg.timeQuant == TimeQuant::Binned &&
         cfg.tieBreak == TieBreak::Random) {
-        // One downcast buys a devirtualized, fully inlined draw loop
-        // for the whole row — the scalar path cannot amortize this.
-        if (auto *xo = dynamic_cast<rng::Xoshiro256 *>(&gen)) {
+        if (!allFireHint) {
             for (std::size_t i = 0; i < count; ++i)
-                out[i] =
-                    raceBinned(rates.subspan(i * m, m), cfg, *xo);
-        } else {
-            for (std::size_t i = 0; i < count; ++i)
-                out[i] =
-                    raceBinned(rates.subspan(i * m, m), cfg, gen);
+                out[i] = racePixel(rates.subspan(i * m, m), cfg, gen,
+                                   scratch, false);
+            return;
+        }
+        // Every label fires, so each pixel's race is exactly m
+        // uniforms, one fused draw-quantize-reduce kernel call, and
+        // the tie resolution.  Hoist the per-pixel setup (scratch
+        // sizing, config decoding, dispatch lookup) out of the pixel
+        // loop; draws and outcomes match racePixel() bit for bit.
+        const simd::KernelTable &kern = simd::kernels();
+        const double t_max = static_cast<double>(cfg.tMaxBins());
+        const bool drop =
+            cfg.truncationPolicy == TruncationPolicy::InfiniteTtf;
+        scratch.t.resize(m);
+        scratch.bins.resize(m);
+        double *draws = scratch.t.data();
+        double *bins = scratch.bins.data();
+        const std::span<double> draw_span{draws, m};
+        for (std::size_t i = 0; i < count; ++i) {
+            gen.fillUniformOpenLow(draw_span);
+            const simd::BinRaceResult br = kern.expDrawBin(
+                draws, rates.data() + i * m, m, t_max, drop, bins);
+            RaceOutcome oc;
+            if (br.contenders != 0) {
+                oc.contenders = br.contenders;
+                oc.winningBin = static_cast<unsigned>(br.bestBin);
+                oc.tie = br.tied > 1;
+                std::size_t win = br.first;
+                if (oc.tie) {
+                    std::uint64_t j = gen.nextBounded(br.tied);
+                    for (std::size_t k = win + 1; j != 0 && k < m;
+                         ++k) {
+                        if (bins[k] == br.bestBin && --j == 0)
+                            win = k;
+                    }
+                }
+                oc.winner = static_cast<int>(win);
+            }
+            out[i] = oc;
         }
         return;
     }
 
     // Deterministic draw count: exactly one uniform per firing label,
     // in pixel-major label order.  Compact those rates, draw the whole
-    // plane's uniforms in one bulk fill, convert with the fused
-    // -log(u)/lambda kernel, then scan each pixel's selection.
-    std::size_t firing = rates.size();
-    std::span<const double> firing_rates = rates;
-    if (!allFireHint) {
-        // One branchless pass both counts the firing labels and
-        // compacts their rates (each rate is stored at the running
-        // count, which only advances past positive rates).
-        scratch.rates.resize(rates.size());
-        firing = 0;
-        for (std::size_t k = 0; k < rates.size(); ++k) {
-            scratch.rates[firing] = rates[k];
-            firing += rates[k] > 0.0 ? 1u : 0u;
-        }
-        if (firing != rates.size())
-            firing_rates = std::span<const double>(
-                scratch.rates.data(), firing);
-        // else: nothing was cut off and the plane itself is already
-        // the compacted rate list.
-    }
-    scratch.t.resize(firing);
-    if (auto *xo = dynamic_cast<rng::Xoshiro256 *>(&gen)) {
-        // Concrete generator: one fused draw->-log(u)/lambda pass with
-        // every advance inlined and no intermediate uniform buffer.
-        // Raw outputs are consumed in the same sequential order as
-        // fillExponentials(), so the TTFs are bit-identical.
-        for (std::size_t i = 0; i < firing; ++i) {
-            double u =
-                (static_cast<double>(xo->next64() >> 11) + 1.0) *
-                0x1.0p-53;
-            scratch.t[i] = -std::log(u) / firing_rates[i];
-        }
-    } else {
-        rng::fillExponentials(gen, firing_rates, scratch.t,
-                              scratch.u);
-    }
+    // plane's TTFs through the shared exponential-draw kernel, then
+    // scan each pixel's selection.
+    std::span<const double> firing_rates =
+        compactFiring(rates, scratch.rates, allFireHint);
+    drawTtfs(gen, firing_rates, cfg, scratch);
 
     std::size_t next = 0;
-    if (firing == rates.size()) {
+    if (firing_rates.size() == rates.size()) {
         for (std::size_t i = 0; i < count; ++i)
             out[i] = selectFromTtfs<true>(rates.subspan(i * m, m),
-                                          scratch.t, next, cfg);
+                                          firing_rates, scratch.t,
+                                          next, cfg, gen,
+                                          scratch.bins);
     } else {
         for (std::size_t i = 0; i < count; ++i)
             out[i] = selectFromTtfs<false>(rates.subspan(i * m, m),
-                                           scratch.t, next, cfg);
+                                           firing_rates, scratch.t,
+                                           next, cfg, gen,
+                                           scratch.bins);
     }
     RETSIM_ASSERT(next == scratch.t.size(),
                   "row race consumed ", next, " of ",

@@ -33,6 +33,18 @@ struct RaceOutcome
     bool tie = false;       ///< winner shared its bin with another label
 };
 
+/** Caller-owned scratch buffers for the race kernels (kept across
+ *  calls so the hot path never allocates). */
+struct RaceRowScratch
+{
+    std::vector<double> rates; ///< compacted rates of firing labels
+    std::vector<double> t;     ///< bulk uniforms; converted to TTFs in
+                               ///< place (float mode) or consumed raw
+                               ///< by the fused expDrawBin kernel
+                               ///< (binned mode)
+    std::vector<double> bins;  ///< per-label quantized bins (binned mode)
+};
+
 /**
  * Run one race over per-label absolute decay rates (per time bin);
  * rate <= 0 means the label is cut off and never fires.
@@ -41,29 +53,28 @@ struct RaceOutcome
  * resolves bin ties with cfg.tieBreak.  Float mode compares the
  * continuous TTFs (ties have measure zero), which realizes exact
  * first-to-fire probabilities P(i) = rate_i / sum(rate).
+ *
+ * Draw layout (the reproducibility contract): the pixel's firing
+ * labels consume one uniform each, in label order, bulk-filled and
+ * converted by the dispatched -log(u)/lambda vecmath kernel; a random
+ * tie-break (if the final minimum bin holds several labels) consumes
+ * exactly one bounded draw AFTER the pixel's TTF uniforms.  Identical
+ * for the scalar and row entries and for every SIMD backend.
  */
 RaceOutcome runTtfRace(std::span<const double> rates,
                        const RsuConfig &cfg, rng::Rng &gen);
 
 /**
- * Binned race against a concrete Xoshiro256: same draws and arithmetic
- * as runTtfRace() in binned mode (bit-identical outcome and generator
- * state), but every per-draw generator advance inlines instead of
- * dispatching virtually.  Batched kernels downcast once per row and
- * then race each pixel through this entry.
+ * Same race, but reusing caller-owned scratch (the no-scratch
+ * overload uses a per-thread buffer) and optionally asserting via
+ * @p allFireHint that every rate is positive, which skips the firing
+ * scan.  Bit-identical outcome and RNG consumption to the overload
+ * above whenever the hint is honest.
  */
-RaceOutcome runTtfRaceBinned(std::span<const double> rates,
-                             const RsuConfig &cfg,
-                             rng::Xoshiro256 &gen);
-
-/** Caller-owned scratch buffers for runTtfRaceRow (kept across calls
- *  so the hot path never allocates). */
-struct RaceRowScratch
-{
-    std::vector<double> rates; ///< compacted rates of firing labels
-    std::vector<double> u;     ///< bulk uniform draws
-    std::vector<double> t;     ///< fused exponential TTFs
-};
+RaceOutcome runTtfRace(std::span<const double> rates,
+                       const RsuConfig &cfg, rng::Rng &gen,
+                       RaceRowScratch &scratch,
+                       bool allFireHint = false);
 
 /**
  * Run one race per pixel over a pixel-major rate plane (@p rates holds
@@ -73,10 +84,10 @@ struct RaceRowScratch
  * calling runTtfRace() once per pixel in order.  When the race mode
  * draws nothing but the per-label exponentials (float time, or binned
  * time with a deterministic tie-break), the draws of the whole plane
- * are bulk-filled and converted by one fused -log(u)/lambda kernel;
- * binned mode with random tie-breaks interleaves tie draws with TTF
- * draws, so that mode falls back to the per-pixel race to preserve the
- * draw order.
+ * are bulk-filled and converted by one -log(u)/lambda kernel pass;
+ * binned mode with random tie-breaks draws between one pixel's TTFs
+ * and the next pixel's, so that mode races pixel by pixel (each pixel
+ * still bulk-draws its own TTFs) to preserve the draw order.
  *
  * @p allFireHint asserts that every rate in the plane is positive (no
  * label is cut off), letting the bulk path skip its firing scan.

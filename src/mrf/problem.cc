@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "simd/kernels.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -48,8 +49,8 @@ MrfProblem::conditionalEnergies(const img::LabelMap &labels, int x,
         const float *rr = pairwise_.row(labels(x + 1, y));
         const float *ru = pairwise_.row(labels(x, y - 1));
         const float *rd = pairwise_.row(labels(x, y + 1));
-        for (int i = 0; i < m; ++i)
-            out[i] = s[i] + rl[i] + rr[i] + ru[i] + rd[i];
+        simd::kernels().addRows5(s, rl, rr, ru, rd, out.data(),
+                                 static_cast<std::size_t>(m));
         return;
     }
 
@@ -115,8 +116,8 @@ MrfProblem::conditionalEnergiesRow(const img::LabelMap &labels, int y,
             const float *rr = pairwise_.row(row[x + 1]);
             const float *ru = pairwise_.row(up[x]);
             const float *rd = pairwise_.row(down[x]);
-            for (int i = 0; i < m; ++i)
-                o[i] = s[i] + rl[i] + rr[i] + ru[i] + rd[i];
+            simd::kernels().addRows5(s, rl, rr, ru, rd, o.data(),
+                                     static_cast<std::size_t>(m));
         }
         return n;
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "simd/kernels.hh"
 #include "util/logging.hh"
 
 namespace retsim {
@@ -11,7 +12,10 @@ double
 sampleExponential(Rng &gen, double rate)
 {
     RETSIM_ASSERT(rate > 0.0, "exponential rate must be positive");
-    return -std::log(gen.nextDoubleOpenLow()) / rate;
+    // retsim vecmath, not std::log: a single scalar draw must equal
+    // lane k of the batched expDraw kernel bit for bit (the
+    // reproducibility contract — see src/simd/kernels.hh).
+    return -simd::slog(gen.nextDoubleOpenLow()) / rate;
 }
 
 void
@@ -21,17 +25,18 @@ exponentialsFromUniforms(std::span<const double> u,
 {
     RETSIM_ASSERT(u.size() == rates.size() && u.size() == out.size(),
                   "batched exponential span size mismatch");
-    for (std::size_t i = 0; i < u.size(); ++i)
-        out[i] = -std::log(u[i]) / rates[i];
+    simd::kernels().expDraw(u.data(), rates.data(), out.data(),
+                            u.size());
 }
 
 void
 fillExponentials(Rng &gen, std::span<const double> rates,
-                 std::span<double> out, std::vector<double> &scratch)
+                 std::span<double> out)
 {
-    scratch.resize(rates.size());
-    gen.fillUniformOpenLow(scratch);
-    exponentialsFromUniforms(scratch, rates, out);
+    gen.fillUniformOpenLow(out);
+    // In-place conversion: expDraw reads each uniform before storing
+    // the TTF over it, so out can double as the uniform buffer.
+    exponentialsFromUniforms(out, rates, out);
 }
 
 std::size_t

@@ -37,13 +37,11 @@ void exponentialsFromUniforms(std::span<const double> u,
 
 /**
  * Convenience wrapper: bulk-draw uniforms from @p gen (in exactly the
- * order sampleExponential() would have consumed them) and convert in
- * one fused pass.  @p scratch is caller-owned to keep the hot path
- * allocation-free; it is resized as needed.
+ * order sampleExponential() would have consumed them) directly into
+ * @p out and convert them to TTFs in place.
  */
 void fillExponentials(Rng &gen, std::span<const double> rates,
-                      std::span<double> out,
-                      std::vector<double> &scratch);
+                      std::span<double> out);
 
 /**
  * Draw a label from an unnormalized weight vector by inverse-CDF over

@@ -9,13 +9,21 @@ std::uint64_t
 Rng::nextBounded(std::uint64_t bound)
 {
     RETSIM_ASSERT(bound != 0, "nextBounded requires bound > 0");
-    // Rejection sampling over the top of the range to avoid modulo bias.
-    std::uint64_t threshold = -bound % bound;
-    for (;;) {
-        std::uint64_t r = next64();
-        if (r >= threshold)
-            return r % bound;
+    // Lemire's nearly-divisionless bounded draw: one widening multiply
+    // maps the raw word into [0, bound); only draws landing in the
+    // biased low slice (probability < bound / 2^64 — astronomically
+    // rare for the small bounds used here) pay a modulo and reject.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            m = static_cast<unsigned __int128>(next64()) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
     }
+    return static_cast<std::uint64_t>(m >> 64);
 }
 
 void

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Public entry points of the SIMD layer.
+ *
+ * The rest of the repo never touches vec.hh/vecmath.hh directly; it
+ * calls the dispatched batch kernels through `kernels()` and the
+ * scalar transcendentals `slog`/`sexp`.  Both route into the same
+ * templated vecmath cores, so a scalar `slog(u)` and lane 3 of a
+ * dispatched `logBatch` are bit-identical — that equivalence is what
+ * lets the batched row samplers reproduce the per-pixel scalar
+ * samplers byte for byte regardless of the active backend.
+ *
+ * Dispatch: `activeBackend()` is resolved once on first use from (in
+ * priority order) a `setBackend()` override, the `RETSIM_SIMD`
+ * environment variable (`off|sse42|avx2|avx512|neon|auto`), and runtime CPU
+ * feature detection, falling back to the scalar backend.  Backends
+ * not compiled in (CMake `RETSIM_SIMD=OFF`, or a foreign ISA) are
+ * never selected; requesting one explicitly falls back to scalar
+ * with a warning.  The avx512 backend is never auto-selected (short
+ * kernel bursts between serial RNG segments keep the 512-bit units
+ * cold and net-slower on measured parts — see dispatch.cc); it runs
+ * only on explicit request.  `kernelsFor()` exposes every compiled backend so
+ * the equivalence tests can compare them without re-execing.
+ */
+
+#ifndef RETSIM_SIMD_KERNELS_HH
+#define RETSIM_SIMD_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace retsim {
+namespace simd {
+
+enum class Backend {
+    Scalar,
+    Sse42,
+    Avx2,
+    Avx512,
+    Neon,
+};
+
+/** Result of the binned-race reduction over one pixel's TTFs.  All
+ *  fields are exact integers (bestBin as an exact small double), so
+ *  every backend produces identical values. */
+struct BinRaceResult
+{
+    double bestBin = 0.0; ///< minimum bin; meaningless if no contender
+    std::uint32_t first = 0; ///< lowest index in the minimum bin
+    std::uint32_t last = 0;  ///< highest index in the minimum bin
+    std::uint32_t tied = 0;  ///< indices sharing the minimum bin
+    std::uint32_t contenders = 0; ///< indices firing within the window
+};
+
+/** Dispatched batch kernels; every pointer is non-null. */
+struct KernelTable
+{
+    Backend backend;
+    const char *name;
+
+    /** out[i] = log(x[i]) (retsim vecmath, not libm). */
+    void (*logBatch)(const double *x, double *out, std::size_t n);
+    /** out[i] = exp(x[i]) (retsim vecmath, not libm). */
+    void (*expBatch)(const double *x, double *out, std::size_t n);
+    /** out[i] = -log(u[i]) / rates[i]: exponential TTF draws.
+     *  In-place conversion (u == out) is supported — each chunk is
+     *  loaded before its result is stored. */
+    void (*expDraw)(const double *u, const double *rates, double *out,
+                    std::size_t n);
+    /** out[i] = exp((e_min - e[i]) / temperature), float energies
+     *  widened to double: Gibbs weight rows. */
+    void (*expWeights)(const float *e, double e_min,
+                       double temperature, double *out, std::size_t n);
+    /** out[i] = s[i]+a[i]+b[i]+c[i]+d[i], fixed association order:
+     *  conditional-energy plane accumulation. */
+    void (*addRows5)(const float *s, const float *a, const float *b,
+                     const float *c, const float *d, float *out,
+                     std::size_t n);
+    /** Index of the first strict minimum of t[0..n), n >= 1: the
+     *  deterministic-draw TTF race winner. */
+    std::size_t (*argmin)(const double *t, std::size_t n);
+    /** q[i] = clamp(roundNearest(double(e[i])), [0, top]) with NaN
+     *  and negatives clamping to 0; returns the minimum quantized
+     *  value (top when n == 0).  The RSU energy quantization stage,
+     *  value-identical to util::quantizeUnsigned per element. */
+    double (*quantizeEnergies)(const float *e, double top, double *q,
+                               std::size_t n);
+    /** The fused binned race: draw ttf[i] = -log(u[i]) / rates[i]
+     *  (same arithmetic as expDraw; the raw TTFs are never
+     *  materialized), quantize to 1-based bins — bins[i] =
+     *  floor(ttf) + 1 when ttf < t_max, else t_max (or +inf when
+     *  drop_truncated, excluding the label) — and reduce to the
+     *  minimum bin, its first/last indices, tie count and contender
+     *  count.  Uniform domain as for expDraw: [2^-53, 1). */
+    BinRaceResult (*expDrawBin)(const double *u, const double *rates,
+                                std::size_t n, double t_max,
+                                bool drop_truncated, double *bins);
+    /** out[i] = table[(size_t)(q[i] - e_min)]: the energy-to-rate
+     *  table stage.  Every q[i] - e_min must be an exact non-negative
+     *  integer below 2^32 indexing into table.  In-place (q == out)
+     *  is supported. */
+    void (*gatherRates)(const double *q, double e_min,
+                        const double *table, double *out,
+                        std::size_t n);
+    /** Fused quantizeEnergies + gatherRates over one pixel's label
+     *  energies: rates[i] = table[q(e[i]) - (subtract_min ? min_j
+     *  q(e[j]) : 0)].  Value-identical to calling the two standalone
+     *  kernels; one dispatch instead of two on the per-pixel path. */
+    void (*quantizeGatherRates)(const float *e, double top,
+                                bool subtract_min,
+                                const double *table, double *rates,
+                                std::size_t n);
+};
+
+/** The kernel table for the active backend (resolved on first use). */
+const KernelTable &kernels();
+
+/** Currently active backend. */
+Backend activeBackend();
+
+/** Human-readable name of a backend ("scalar", "sse42", ...). */
+const char *backendName(Backend b);
+
+/**
+ * Force a backend.  Unknown/uncompiled/unsupported requests fall back
+ * to the best available level (for "auto") or to scalar (for a named
+ * backend that can't run), returning the backend actually selected.
+ * Accepts the same spellings as the RETSIM_SIMD env var:
+ * off|scalar|sse42|avx2|avx512|neon|auto.  Not thread-safe against
+ * concurrent kernel use; call it at startup.
+ */
+Backend setBackend(const std::string &spec);
+
+/** All backends compiled into this binary and runnable on this CPU
+ *  (always includes Scalar).  For backend-equivalence tests. */
+std::vector<Backend> runnableBackends();
+
+/** Kernel table of a specific runnable backend (for tests). */
+const KernelTable &kernelsFor(Backend b);
+
+/** Scalar log through the retsim vecmath core — use instead of
+ *  std::log anywhere output feeds the reproducibility contract. */
+double slog(double x);
+
+/** Scalar exp through the retsim vecmath core. */
+double sexp(double x);
+
+} // namespace simd
+} // namespace retsim
+
+#endif // RETSIM_SIMD_KERNELS_HH

@@ -1,0 +1,105 @@
+/**
+ * NEON (AArch64) backend kernel table.  AdvSIMD is baseline on
+ * AArch64, so no extra ISA flags and no runtime feature check are
+ * needed — compiled in iff the target architecture is aarch64.
+ * Still built with -ffp-contract=off: NEON has FMA and GCC would
+ * otherwise contract the templated kernel expressions.
+ */
+
+#include "simd/tables.hh"
+#include "simd/vecmath.hh"
+
+namespace retsim {
+namespace simd {
+
+namespace {
+
+void
+logBatch(const double *x, double *out, std::size_t n)
+{
+    detail::logBatchT<VNeon>(x, out, n);
+}
+
+void
+expBatch(const double *x, double *out, std::size_t n)
+{
+    detail::expBatchT<VNeon>(x, out, n);
+}
+
+void
+expDraw(const double *u, const double *rates, double *out,
+        std::size_t n)
+{
+    detail::expDrawT<VNeon>(u, rates, out, n);
+}
+
+void
+expWeights(const float *e, double e_min, double temperature,
+           double *out, std::size_t n)
+{
+    detail::expWeightsT<VNeon>(e, e_min, temperature, out, n);
+}
+
+void
+addRows5(const float *s, const float *a, const float *b,
+         const float *c, const float *d, float *out, std::size_t n)
+{
+    detail::addRows5T<VNeon>(s, a, b, c, d, out, n);
+}
+
+std::size_t
+argmin(const double *t, std::size_t n)
+{
+    return detail::argminT<VNeon>(t, n);
+}
+
+
+double
+quantizeEnergies(const float *e, double top, double *q, std::size_t n)
+{
+    return detail::quantizeEnergiesT<VNeon>(e, top, q, n);
+}
+
+BinRaceResult
+expDrawBin(const double *u, const double *rates, std::size_t n,
+           double t_max, bool drop_truncated, double *bins)
+{
+    return detail::expDrawBinT<VNeon>(u, rates, n, t_max,
+                                      drop_truncated, bins);
+}
+
+
+void
+gatherRates(const double *q, double e_min, const double *table,
+            double *out, std::size_t n)
+{
+    detail::gatherRatesT<VNeon>(q, e_min, table, out, n);
+}
+
+void
+quantizeGatherRates(const float *e, double top, bool subtract_min,
+                    const double *table, double *rates,
+                    std::size_t n)
+{
+    detail::quantizeGatherRatesT<VNeon>(e, top, subtract_min, table,
+                                        rates, n);
+}
+
+} // namespace
+
+namespace detail {
+
+const KernelTable &
+tableNeon()
+{
+    static const KernelTable t{Backend::Neon, "neon",    logBatch,
+                               expBatch,      expDraw,   expWeights,
+                               addRows5,      argmin,      quantizeEnergies,      expDrawBin,
+                               gatherRates,   quantizeGatherRates};
+    return t;
+}
+
+} // namespace detail
+
+} // namespace simd
+} // namespace retsim

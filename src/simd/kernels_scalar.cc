@@ -1,0 +1,117 @@
+/**
+ * Scalar-backend kernel table and the scalar transcendental entry
+ * points (slog/sexp).  This TU is the portable reference every vector
+ * backend must match bit for bit; it is compiled with
+ * -ffp-contract=off so the plain C++ expressions of VScalar cannot be
+ * contracted into FMAs (see src/simd/CMakeLists.txt).
+ */
+
+#include "simd/tables.hh"
+#include "simd/vecmath.hh"
+
+namespace retsim {
+namespace simd {
+
+namespace {
+
+void
+logBatch(const double *x, double *out, std::size_t n)
+{
+    detail::logBatchT<VScalar>(x, out, n);
+}
+
+void
+expBatch(const double *x, double *out, std::size_t n)
+{
+    detail::expBatchT<VScalar>(x, out, n);
+}
+
+void
+expDraw(const double *u, const double *rates, double *out,
+        std::size_t n)
+{
+    detail::expDrawT<VScalar>(u, rates, out, n);
+}
+
+void
+expWeights(const float *e, double e_min, double temperature,
+           double *out, std::size_t n)
+{
+    detail::expWeightsT<VScalar>(e, e_min, temperature, out, n);
+}
+
+void
+addRows5(const float *s, const float *a, const float *b,
+         const float *c, const float *d, float *out, std::size_t n)
+{
+    detail::addRows5T<VScalar>(s, a, b, c, d, out, n);
+}
+
+std::size_t
+argmin(const double *t, std::size_t n)
+{
+    return detail::argminT<VScalar>(t, n);
+}
+
+
+double
+quantizeEnergies(const float *e, double top, double *q, std::size_t n)
+{
+    return detail::quantizeEnergiesT<VScalar>(e, top, q, n);
+}
+
+BinRaceResult
+expDrawBin(const double *u, const double *rates, std::size_t n,
+           double t_max, bool drop_truncated, double *bins)
+{
+    return detail::expDrawBinT<VScalar>(u, rates, n, t_max,
+                                      drop_truncated, bins);
+}
+
+
+void
+gatherRates(const double *q, double e_min, const double *table,
+            double *out, std::size_t n)
+{
+    detail::gatherRatesT<VScalar>(q, e_min, table, out, n);
+}
+
+void
+quantizeGatherRates(const float *e, double top, bool subtract_min,
+                    const double *table, double *rates,
+                    std::size_t n)
+{
+    detail::quantizeGatherRatesT<VScalar>(e, top, subtract_min, table,
+                                        rates, n);
+}
+
+} // namespace
+
+namespace detail {
+
+const KernelTable &
+tableScalar()
+{
+    static const KernelTable t{Backend::Scalar, "scalar",  logBatch,
+                               expBatch,        expDraw,   expWeights,
+                               addRows5,        argmin,        quantizeEnergies,        expDrawBin,
+                               gatherRates,   quantizeGatherRates};
+    return t;
+}
+
+} // namespace detail
+
+double
+slog(double x)
+{
+    return detail::vlogCore<VScalar>(x);
+}
+
+double
+sexp(double x)
+{
+    return detail::vexpCore<VScalar>(x);
+}
+
+} // namespace simd
+} // namespace retsim

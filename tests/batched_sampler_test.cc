@@ -301,7 +301,11 @@ annealConfig(int sweeps, std::uint64_t seed)
 }
 
 /** The pre-batching serial solver, reimplemented literally: one RNG
- *  stream, pixel-by-pixel conditionalEnergies() + sample(). */
+ *  stream, pixel-by-pixel conditionalEnergies() + sample().  Note the
+ *  reproducibility contract this checks is "matches retsim vecmath":
+ *  sample() draws its exponentials through the shared slog/vlog core,
+ *  so this reference is byte-comparable to the batched path under any
+ *  SIMD backend (vecmath_test.cc covers the backend sweep). */
 img::LabelMap
 referenceSerialSolve(const mrf::MrfProblem &problem,
                      mrf::LabelSampler &sampler,

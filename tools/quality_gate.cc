@@ -32,6 +32,7 @@
 #include "core/sampler_rsu.hh"
 #include "img/synthetic.hh"
 #include "obs/telemetry_cli.hh"
+#include "simd/simd_cli.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 
@@ -262,6 +263,7 @@ int
 main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
+    simd::backendFromCli(args); // --simd= dispatch override
     const std::string baselines = args.getString(
         "baselines", "tests/golden/quality_baselines.json");
 
