@@ -15,6 +15,7 @@
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
 #include "img/pgm_io.hh"
+#include "mrf/checkpoint_cli.hh"
 #include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
 #include "simd/simd_cli.hh"
@@ -69,8 +70,14 @@ main(int argc, char **argv)
     core::SoftwareSampler sw;
     core::RsuSampler rsu(core::RsuConfig::newDesign());
 
-    auto r_sw = apps::runDenoising(clean, noisy, sw, solver, params);
-    auto r_rsu = apps::runDenoising(clean, noisy, rsu, solver, params);
+    auto cfg_sw = solver;
+    mrf::checkpointFromCli(args, &cfg_sw, "software");
+    auto cfg_rsu = solver;
+    mrf::checkpointFromCli(args, &cfg_rsu, "new_rsug");
+
+    auto r_sw = apps::runDenoising(clean, noisy, sw, cfg_sw, params);
+    auto r_rsu =
+        apps::runDenoising(clean, noisy, rsu, cfg_rsu, params);
 
     std::printf("Noise sigma %.1f, %d levels, %d sweeps\n", sigma,
                 params.levels, sweeps);

@@ -16,6 +16,7 @@
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
 #include "img/pgm_io.hh"
+#include "mrf/checkpoint_cli.hh"
 #include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
 #include "simd/simd_cli.hh"
@@ -46,8 +47,13 @@ main(int argc, char **argv)
     core::SoftwareSampler sw;
     core::RsuSampler rsu(core::RsuConfig::newDesign());
 
-    auto r_sw = apps::runSegmentation(scene, sw, solver);
-    auto r_rsu = apps::runSegmentation(scene, rsu, solver);
+    auto cfg_sw = solver;
+    mrf::checkpointFromCli(args, &cfg_sw, "software");
+    auto cfg_rsu = solver;
+    mrf::checkpointFromCli(args, &cfg_rsu, "new_rsug");
+
+    auto r_sw = apps::runSegmentation(scene, sw, cfg_sw);
+    auto r_rsu = apps::runSegmentation(scene, rsu, cfg_rsu);
 
     std::printf("\n%-12s %8s %8s %8s %8s\n", "sampler", "VoI", "PRI",
                 "GCE", "BDE");

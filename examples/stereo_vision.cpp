@@ -23,6 +23,7 @@
 #include "core/sampler_software.hh"
 #include "img/dataset_io.hh"
 #include "img/pgm_io.hh"
+#include "mrf/checkpoint_cli.hh"
 #include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
 #include "simd/simd_cli.hh"
@@ -79,19 +80,23 @@ main(int argc, char **argv)
     {
         const char *name;
         const char *file;
+        const char *ckpt; ///< snapshot-path suffix, one per variant
     };
     core::SoftwareSampler sw;
     core::RsuSampler prev(core::RsuConfig::previousDesign());
     core::RsuSampler next(core::RsuConfig::newDesign());
     mrf::LabelSampler *samplers[] = {&sw, &prev, &next};
-    const Variant variants[] = {{"software-only", "_software.pgm"},
-                                {"previous RSU-G", "_prev_rsug.pgm"},
-                                {"new RSU-G", "_new_rsug.pgm"}};
+    const Variant variants[] = {
+        {"software-only", "_software.pgm", "software"},
+        {"previous RSU-G", "_prev_rsug.pgm", "prev_rsug"},
+        {"new RSU-G", "_new_rsug.pgm", "new_rsug"}};
 
     std::printf("\n%-16s %8s %8s\n", "sampler", "BP%", "RMS");
     std::printf("----------------------------------\n");
     for (int i = 0; i < 3; ++i) {
-        auto result = apps::runStereo(scene, *samplers[i], solver);
+        auto cfg = solver;
+        mrf::checkpointFromCli(args, &cfg, variants[i].ckpt);
+        auto result = apps::runStereo(scene, *samplers[i], cfg);
         std::printf("%-16s %8.2f %8.3f\n", variants[i].name,
                     result.badPixelPercent, result.rmsError);
         img::writePgm(img::labelMapToGray(result.disparity,

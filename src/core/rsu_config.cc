@@ -4,6 +4,7 @@
 
 #include "ret/truncation.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 
 namespace retsim {
 namespace core {
@@ -73,14 +74,16 @@ RsuConfig::uniqueLambdas() const
 void
 RsuConfig::validate() const
 {
-    RETSIM_ASSERT(energyBits >= 1 && energyBits <= 16,
-                  "energyBits out of range: ", energyBits);
-    RETSIM_ASSERT(lambdaBits >= 1 && lambdaBits <= 10,
-                  "lambdaBits out of range: ", lambdaBits);
-    RETSIM_ASSERT(timeBits >= 1 && timeBits <= 16,
-                  "timeBits out of range: ", timeBits);
-    RETSIM_ASSERT(truncation > 0.0 && truncation < 1.0,
-                  "truncation must lie in (0, 1): ", truncation);
+    // Bad parameter values are user error (a config string or design
+    // sweep gone wrong), not simulator bugs: report and exit cleanly.
+    if (energyBits < 1 || energyBits > 16)
+        RETSIM_FATAL("energyBits out of range: ", energyBits);
+    if (lambdaBits < 1 || lambdaBits > 10)
+        RETSIM_FATAL("lambdaBits out of range: ", lambdaBits);
+    if (timeBits < 1 || timeBits > 16)
+        RETSIM_FATAL("timeBits out of range: ", timeBits);
+    if (!(truncation > 0.0 && truncation < 1.0))
+        RETSIM_FATAL("truncation must lie in (0, 1): ", truncation);
     // Note: probability cut-off without decay-rate scaling is a valid
     // (if self-defeating) configuration — Fig. 5a evaluates it to show
     // that every label gets cut off early in annealing.
@@ -143,8 +146,27 @@ RsuConfig::fromString(const std::string &text)
         std::string key = token.substr(0, eq);
         std::string value = token.substr(eq + 1);
 
+        // Checked parses: std::sto* would throw an uncaught
+        // invalid_argument / out_of_range on malformed text; these
+        // reject the token (including trailing garbage and NaN/Inf)
+        // and name the offending key=value pair.
         auto as_uint = [&] {
-            return static_cast<unsigned>(std::stoul(value));
+            unsigned long v = 0;
+            if (!util::parseUnsigned(value, &v) || v > 0xffffffffUL) {
+                RETSIM_FATAL("config key '", key,
+                             "' expects an unsigned integer, got '",
+                             value, "'");
+            }
+            return static_cast<unsigned>(v);
+        };
+        auto as_double = [&] {
+            double v = 0.0;
+            if (!util::parseDouble(value, &v)) {
+                RETSIM_FATAL("config key '", key,
+                             "' expects a finite number, got '", value,
+                             "'");
+            }
+            return v;
         };
         auto as_bool = [&] { return value == "1" || value == "true"; };
 
@@ -177,7 +199,7 @@ RsuConfig::fromString(const std::string &text)
             else
                 RETSIM_FATAL("unknown time_quant '", value, "'");
         } else if (key == "truncation") {
-            cfg.truncation = std::stod(value);
+            cfg.truncation = as_double();
         } else if (key == "tie_break") {
             if (value == "random")
                 cfg.tieBreak = TieBreak::Random;

@@ -68,6 +68,27 @@ class CdfLutSampler : public mrf::LabelSampler
                                                maxLabels_);
     }
 
+    /**
+     * Checkpoint state: the sample counter plus the owned entropy
+     * source's position — the device's draw stream must continue
+     * exactly where the interrupted run stopped.
+     */
+    void
+    saveState(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(samples_);
+        source_->saveState(out);
+    }
+
+    bool
+    loadState(std::span<const std::uint64_t> words) override
+    {
+        if (words.empty() || !source_->loadState(words.subspan(1)))
+            return false;
+        samples_ = words[0];
+        return true;
+    }
+
     int maxLabels() const { return maxLabels_; }
 
   private:

@@ -1,6 +1,7 @@
 #include "core/sampler_rsu.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "core/ttf_race.hh"
@@ -32,6 +33,44 @@ RsuSampler::mergeStats(const mrf::LabelSampler &other)
     tieEvents_ += rsu->tieEvents_;
     conversionRebuilds_ += rsu->conversionRebuilds_;
     totalSamples_ += rsu->totalSamples_;
+}
+
+void
+RsuSampler::saveState(std::vector<std::uint64_t> &out) const
+{
+    out.push_back(totalSamples_);
+    out.push_back(noSampleEvents_);
+    out.push_back(tieEvents_);
+    out.push_back(conversionRebuilds_);
+    out.push_back(std::bit_cast<std::uint64_t>(cachedTemperature_));
+    out.push_back(std::bit_cast<std::uint64_t>(rateTableTemperature_));
+}
+
+bool
+RsuSampler::loadState(std::span<const std::uint64_t> words)
+{
+    if (words.size() != 6)
+        return false;
+    const double cached_t = std::bit_cast<double>(words[4]);
+    const double rate_t = std::bit_cast<double>(words[5]);
+    // Warm the derived caches for the checkpointed temperatures (the
+    // row path keeps lut_ aligned with cachedTemperature_ and
+    // rateTable_ with rateTableTemperature_), then overwrite the
+    // counters: the rebuilds these refreshes perform must not show up
+    // as extra conversionRebuilds_ in a resumed run.
+    if (rate_t >= 0.0) {
+        refreshConversion(rate_t);
+        refreshRateTable(rate_t);
+    }
+    if (cached_t >= 0.0)
+        refreshConversion(cached_t);
+    cachedTemperature_ = cached_t;
+    rateTableTemperature_ = rate_t;
+    totalSamples_ = words[0];
+    noSampleEvents_ = words[1];
+    tieEvents_ = words[2];
+    conversionRebuilds_ = words[3];
+    return true;
 }
 
 void

@@ -76,6 +76,16 @@ class RsuSampler : public mrf::LabelSampler
         return std::make_unique<RsuSampler>(cfg_);
     }
 
+    /**
+     * Checkpoint state: the four instrumentation counters plus the
+     * temperatures of the cached conversion LUT and rate table.  The
+     * tables themselves are derived data — loadState() rebuilds them
+     * from the process-wide cache, then restores the counters so a
+     * resumed run reports exactly the uninterrupted run's totals.
+     */
+    void saveState(std::vector<std::uint64_t> &out) const override;
+    bool loadState(std::span<const std::uint64_t> words) override;
+
     const RsuConfig &config() const { return cfg_; }
 
     // ---- instrumentation ---------------------------------------------

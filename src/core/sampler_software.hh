@@ -59,6 +59,22 @@ class SoftwareSampler : public mrf::LabelSampler
         return std::make_unique<SoftwareSampler>();
     }
 
+    /** Checkpoint state: just the sample counter. */
+    void
+    saveState(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(samples_);
+    }
+
+    bool
+    loadState(std::span<const std::uint64_t> words) override
+    {
+        if (words.size() != 1)
+            return false;
+        samples_ = words[0];
+        return true;
+    }
+
   private:
     std::vector<double> weights_; // scratch, reused across calls
     std::vector<double> uniforms_; // scratch, batched draws

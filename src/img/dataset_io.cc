@@ -15,9 +15,13 @@ loadStereoScene(const std::string &name, const std::string &left_path,
                 const std::string &gt_path, int gt_scale,
                 int num_labels)
 {
-    RETSIM_ASSERT(gt_scale >= 1, "ground-truth scale must be >= 1");
-    RETSIM_ASSERT(num_labels >= 2 && num_labels <= 64,
-                  "label count outside the RSU-G range: ", num_labels);
+    // User-supplied dataset parameters: reject loudly, don't abort.
+    if (gt_scale < 1)
+        RETSIM_FATAL("ground-truth scale must be >= 1, got ",
+                     gt_scale);
+    if (num_labels < 2 || num_labels > 64)
+        RETSIM_FATAL("label count outside the RSU-G range [2, 64]: ",
+                     num_labels);
 
     StereoScene scene;
     scene.name = name;
@@ -58,7 +62,9 @@ loadMotionScene(const std::string &name,
                 const std::string &frame0_path,
                 const std::string &frame1_path, int window_radius)
 {
-    RETSIM_ASSERT(window_radius >= 1, "window radius must be >= 1");
+    if (window_radius < 1)
+        RETSIM_FATAL("window radius must be >= 1, got ",
+                     window_radius);
     MotionScene scene;
     scene.name = name;
     scene.windowRadius = window_radius;
@@ -79,8 +85,9 @@ loadSegmentationScene(const std::string &name,
                       const std::string &image_path,
                       const std::string &gt_path, int num_segments)
 {
-    RETSIM_ASSERT(num_segments >= 2 && num_segments <= 64,
-                  "segment count outside the RSU-G range");
+    if (num_segments < 2 || num_segments > 64)
+        RETSIM_FATAL("segment count outside the RSU-G range [2, 64]: ",
+                     num_segments);
     SegmentationScene scene;
     scene.name = name;
     scene.numSegments = num_segments;
@@ -104,10 +111,10 @@ loadSegmentationScene(const std::string &name,
                 scene.gtSegments(x, y) = it->second;
             }
         }
-        RETSIM_ASSERT(static_cast<int>(index.size()) <= num_segments,
-                      "ground truth has ", index.size(),
-                      " segments but only ", num_segments,
-                      " requested");
+        if (static_cast<int>(index.size()) > num_segments)
+            RETSIM_FATAL("ground truth '", gt_path, "' has ",
+                         index.size(), " segments but only ",
+                         num_segments, " requested");
     }
     return scene;
 }

@@ -1,6 +1,9 @@
 #include "img/pgm_io.hh"
 
+#include <cctype>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "util/logging.hh"
 
@@ -24,52 +27,117 @@ writePgm(const ImageU8 &image, const std::string &path)
 
 namespace {
 
-/** Skip whitespace and '#' comment lines in a PGM header. */
-int
-readHeaderInt(std::istream &in, const std::string &path)
+/** Dimension sanity cap: a corrupted header must not be able to
+ *  drive a multi-gigabyte allocation. */
+constexpr long long kMaxPgmDim = 1 << 20;
+
+/**
+ * Read one header integer, skipping whitespace and '#' comment
+ * lines.  Returns false (instead of looping or invoking UB on EOF)
+ * for truncated or non-numeric headers.
+ */
+bool
+headerInt(std::istream &in, long long *v)
 {
     for (;;) {
         int c = in.peek();
+        if (c == std::char_traits<char>::eof())
+            return false;
         if (c == '#') {
             std::string line;
             std::getline(in, line);
-        } else if (std::isspace(c)) {
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
             in.get();
         } else {
             break;
         }
     }
-    int v = -1;
-    in >> v;
-    if (!in || v < 0)
-        RETSIM_FATAL("malformed PGM header in '", path, "'");
-    return v;
+    *v = -1;
+    in >> *v;
+    return static_cast<bool>(in) && *v >= 0;
 }
 
 } // namespace
 
+bool
+tryReadPgm(const std::string &path, ImageU8 *image, std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = "PGM '" + path + "': " + what;
+        return false;
+    };
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail("cannot open for reading");
+    std::string magic;
+    in >> magic;
+    if (magic == "P1" || magic == "P2" || magic == "P3" ||
+        magic == "P4" || magic == "P6")
+        return fail("unsupported PNM flavor '" + magic +
+                    "' (only binary PGM, P5)");
+    if (magic != "P5")
+        return fail("not a PGM file (bad magic)");
+
+    long long w = 0, h = 0, maxval = 0;
+    if (!headerInt(in, &w) || !headerInt(in, &h))
+        return fail("malformed or truncated dimension header");
+    if (!headerInt(in, &maxval))
+        return fail("malformed or missing maxval");
+    if (w <= 0 || h <= 0)
+        return fail("non-positive dimensions " + std::to_string(w) +
+                    "x" + std::to_string(h));
+    if (w > kMaxPgmDim || h > kMaxPgmDim)
+        return fail("implausible dimensions " + std::to_string(w) +
+                    "x" + std::to_string(h));
+    if (maxval <= 0 || maxval > 65535)
+        return fail("maxval " + std::to_string(maxval) +
+                    " outside [1, 65535]");
+    in.get(); // the single whitespace after maxval
+
+    const std::size_t pixels =
+        static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+    ImageU8 out(static_cast<int>(w), static_cast<int>(h));
+    if (maxval <= 255) {
+        in.read(reinterpret_cast<char *>(out.data().data()),
+                static_cast<std::streamsize>(pixels));
+        if (static_cast<std::size_t>(in.gcount()) != pixels)
+            return fail("truncated payload (" +
+                        std::to_string(in.gcount()) + " of " +
+                        std::to_string(pixels) + " bytes)");
+    } else {
+        // Two-byte big-endian samples (Netpbm convention for
+        // maxval > 255), scaled down to the 8-bit pipeline range.
+        std::vector<unsigned char> raw(pixels * 2);
+        in.read(reinterpret_cast<char *>(raw.data()),
+                static_cast<std::streamsize>(raw.size()));
+        if (static_cast<std::size_t>(in.gcount()) != raw.size())
+            return fail("truncated 16-bit payload (" +
+                        std::to_string(in.gcount()) + " of " +
+                        std::to_string(raw.size()) + " bytes)");
+        for (std::size_t i = 0; i < pixels; ++i) {
+            long long v = (static_cast<long long>(raw[2 * i]) << 8) |
+                          raw[2 * i + 1];
+            if (v > maxval)
+                return fail("sample " + std::to_string(v) +
+                            " exceeds maxval " +
+                            std::to_string(maxval));
+            out.data()[i] = static_cast<std::uint8_t>(
+                (v * 255 + maxval / 2) / maxval);
+        }
+    }
+    *image = std::move(out);
+    return true;
+}
+
 ImageU8
 readPgm(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        RETSIM_FATAL("cannot open '", path, "' for reading");
-    std::string magic;
-    in >> magic;
-    if (magic != "P5")
-        RETSIM_FATAL("'", path, "' is not a binary PGM (P5)");
-    int w = readHeaderInt(in, path);
-    int h = readHeaderInt(in, path);
-    int maxval = readHeaderInt(in, path);
-    if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 255)
-        RETSIM_FATAL("unsupported PGM geometry in '", path, "'");
-    in.get(); // the single whitespace after maxval
-
-    ImageU8 image(w, h);
-    in.read(reinterpret_cast<char *>(image.data().data()),
-            static_cast<std::streamsize>(image.size()));
-    if (!in)
-        RETSIM_FATAL("truncated PGM payload in '", path, "'");
+    ImageU8 image;
+    std::string error;
+    if (!tryReadPgm(path, &image, &error))
+        RETSIM_FATAL(error);
     return image;
 }
 

@@ -20,7 +20,19 @@ namespace img {
 /** Write an 8-bit grayscale image as binary PGM (P5). */
 void writePgm(const ImageU8 &image, const std::string &path);
 
-/** Read a binary PGM (P5) with maxval <= 255. */
+/**
+ * Non-fatal binary PGM (P5) reader.  Accepts maxval 1..65535
+ * (16-bit samples are big-endian per the Netpbm spec and are scaled
+ * down to 8 bits); rejects other PNM flavors, non-positive or
+ * implausibly large dimensions, maxval 0 or > 65535, and truncated
+ * or oversized payloads.  Never throws: a malformed file yields
+ * false with a diagnostic naming @p path and the defect in @p error.
+ */
+bool tryReadPgm(const std::string &path, ImageU8 *image,
+                std::string *error);
+
+/** Fatal wrapper over tryReadPgm for the examples and tools: any
+ *  malformed input exits with the tryReadPgm diagnostic. */
 ImageU8 readPgm(const std::string &path);
 
 /**

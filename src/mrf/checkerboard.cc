@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "mrf/checkpoint.hh"
 #include "mrf/solver_telemetry.hh"
 #include "obs/metrics.hh"
 #include "util/logging.hh"
@@ -124,6 +125,14 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
                   "threads/stripes cannot be negative");
     const int m = problem.numLabels();
     rng::Xoshiro256 gen(config_.seed);
+    const bool checkpointing = config_.checkpointEvery > 0;
+    if (checkpointing && !config_.checkpointSink &&
+        config_.checkpointPath.empty())
+        RETSIM_FATAL("checkpointEvery is set but neither "
+                     "checkpointPath nor checkpointSink is configured");
+    const bool serial = config_.threads == 1 && config_.stripes == 0;
+    const int cp_stripes =
+        serial ? 0 : effectiveStripes(problem.height());
 
     const detail::SolverMetricIds &ids = detail::SolverMetricIds::get();
     obs::Registry &reg = obs::Registry::global();
@@ -131,23 +140,66 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
     SolverTrace local_trace;
     SolverTrace *trace =
         caller_trace ? caller_trace
-                     : (telemetry.active() ? &local_trace : nullptr);
-    if (trace)
-        telemetry.setTraceBaseline(trace->pixelUpdates,
-                                   trace->labelChanges);
+                     : ((telemetry.active() || checkpointing)
+                            ? &local_trace
+                            : nullptr);
 
-    if (config_.randomInit) {
+    const SolverCheckpoint *resume = config_.resume.get();
+    int start_sweep = 0;
+    if (resume) {
+        detail::validateResume(*resume, "checkerboard", config_,
+                               problem.width(), problem.height(), m,
+                               sampler.name(), cp_stripes);
+        labels = resume->labels;
+        if (!gen.loadState(resume->solverGen))
+            RETSIM_FATAL("resume snapshot: solver generator state "
+                         "does not fit ", gen.name());
+        if (!sampler.loadState(resume->samplerState))
+            RETSIM_FATAL("resume snapshot: sampler state does not fit "
+                         "sampler '", sampler.name(), "'");
+        if (trace)
+            *trace = resume->trace;
+        start_sweep = resume->sweepsDone;
+    } else if (config_.randomInit) {
         for (int &l : labels.data())
             l = static_cast<int>(gen.nextBounded(m));
     }
 
+    if (trace)
+        telemetry.setTraceBaseline(trace->pixelUpdates,
+                                   trace->labelChanges);
+
+    // Shared snapshot assembly: everything but the per-stripe clone
+    // states, which only the striped path owns.
+    auto capture = [&](int done) {
+        SolverCheckpoint cp;
+        cp.solverKind = "checkerboard";
+        cp.samplerName = sampler.name();
+        cp.seed = config_.seed;
+        cp.t0 = config_.annealing.t0;
+        cp.tEnd = config_.annealing.tEnd;
+        cp.sweepsTotal = config_.annealing.sweeps;
+        cp.width = problem.width();
+        cp.height = problem.height();
+        cp.numLabels = m;
+        cp.stripes = cp_stripes;
+        cp.randomScan = config_.randomScan;
+        cp.sweepsDone = done;
+        cp.labels = labels;
+        gen.saveState(cp.solverGen);
+        sampler.saveState(cp.samplerState);
+        if (trace)
+            cp.trace = *trace;
+        return cp;
+    };
+
     // Serial reference path: one RNG stream drives every pixel, the
     // historical (pre-striping) behavior.  Taken only when neither a
     // stripe decomposition nor threading was requested.
-    if (config_.threads == 1 && config_.stripes == 0) {
+    if (serial) {
         RowArena arena(problem.width(), m);
         obs::MetricShard shard = reg.makeShard();
-        for (int s = 0; s < config_.annealing.sweeps; ++s) {
+        for (int s = start_sweep; s < config_.annealing.sweeps; ++s) {
             double temperature = config_.annealing.temperature(s);
             for (int color = 0; color < 2; ++color) {
                 for (int y = 0; y < problem.height(); ++y) {
@@ -176,11 +228,15 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
             }
             if (config_.sweepObserver)
                 config_.sweepObserver(s, temperature, labels);
+            if (checkpointing &&
+                detail::shouldCheckpoint(config_, s + 1))
+                detail::emitCheckpoint(config_, capture(s + 1));
         }
         reg.fold(shard);
         reg.add(ids.runs, 1);
         reg.add(ids.sweeps, static_cast<std::uint64_t>(
-                                config_.annealing.sweeps));
+                                config_.annealing.sweeps -
+                                start_sweep));
         return labels;
     }
 
@@ -214,6 +270,20 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
                                   RowArena(width, m));
     for (int k = 0; k < stripes; ++k)
         workers[k] = sampler.clone(static_cast<std::uint64_t>(k));
+
+    if (resume) {
+        // validateResume already matched the stripe count against the
+        // snapshot; restore each clone's counters and entropy position.
+        RETSIM_ASSERT(static_cast<int>(
+                          resume->stripeSamplerState.size()) == stripes,
+                      "stripe-state table size mismatch");
+        for (int k = 0; k < stripes; ++k) {
+            if (!workers[k]->loadState(resume->stripeSamplerState[k]))
+                RETSIM_FATAL("resume snapshot: stripe ", k,
+                             " sampler state does not fit sampler '",
+                             workers[k]->name(), "'");
+        }
+    }
 
     std::vector<StripeCounters> counters(
         static_cast<std::size_t>(stripes));
@@ -250,7 +320,7 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
         }
     };
 
-    for (int s = 0; s < config_.annealing.sweeps; ++s) {
+    for (int s = start_sweep; s < config_.annealing.sweeps; ++s) {
         double temperature = config_.annealing.temperature(s);
         for (int color = 0; color < 2; ++color) {
             if (pool) {
@@ -295,11 +365,20 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
         }
         if (config_.sweepObserver)
             config_.sweepObserver(s, temperature, labels);
+        if (checkpointing && detail::shouldCheckpoint(config_, s + 1)) {
+            SolverCheckpoint cp = capture(s + 1);
+            cp.stripeSamplerState.resize(
+                static_cast<std::size_t>(stripes));
+            for (int k = 0; k < stripes; ++k)
+                workers[k]->saveState(cp.stripeSamplerState[k]);
+            detail::emitCheckpoint(config_, cp);
+        }
     }
 
     reg.add(ids.runs, 1);
     reg.add(ids.sweeps,
-            static_cast<std::uint64_t>(config_.annealing.sweeps));
+            static_cast<std::uint64_t>(config_.annealing.sweeps -
+                                       start_sweep));
 
     // Fold every stripe clone's instrumentation counters back into
     // the caller's sampler so striped runs report the same totals

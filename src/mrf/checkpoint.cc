@@ -1,0 +1,254 @@
+#include "mrf/checkpoint.hh"
+
+#include <limits>
+
+#include "util/checkpoint.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace mrf {
+
+namespace {
+
+/** Upper bound on snapshot image dimensions: large enough for any
+ *  realistic field, small enough to stop a corrupted-but-CRC-valid
+ *  header from driving a multi-gigabyte allocation. */
+constexpr int kMaxDim = 1 << 20;
+
+} // namespace
+
+std::vector<unsigned char>
+SolverCheckpoint::serialize() const
+{
+    util::ByteWriter w;
+    w.str(solverKind);
+    w.str(samplerName);
+    w.u64(seed);
+    w.f64(t0);
+    w.f64(tEnd);
+    w.i32(sweepsTotal);
+    w.i32(width);
+    w.i32(height);
+    w.i32(numLabels);
+    w.i32(stripes);
+    w.u8(randomScan ? 1 : 0);
+    w.i32(sweepsDone);
+
+    w.u64(labels.size());
+    for (int l : labels.data())
+        w.i32(l);
+
+    w.words(solverGen);
+
+    w.u64(scanOrder.size());
+    for (std::uint32_t p : scanOrder)
+        w.u32(p);
+
+    w.words(samplerState);
+
+    w.u64(stripeSamplerState.size());
+    for (const std::vector<std::uint64_t> &s : stripeSamplerState)
+        w.words(s);
+
+    w.u64(trace.pixelUpdates);
+    w.u64(trace.labelChanges);
+    w.u64(trace.energyPerSweep.size());
+    for (double e : trace.energyPerSweep)
+        w.f64(e);
+    w.u64(trace.temperaturePerSweep.size());
+    for (double t : trace.temperaturePerSweep)
+        w.f64(t);
+
+    return w.take();
+}
+
+bool
+SolverCheckpoint::deserialize(std::span<const unsigned char> payload,
+                              SolverCheckpoint *out, std::string *error)
+{
+    auto fail = [&](const char *what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+
+    util::ByteReader r(payload);
+    SolverCheckpoint cp;
+    cp.solverKind = r.str();
+    cp.samplerName = r.str();
+    cp.seed = r.u64();
+    cp.t0 = r.f64();
+    cp.tEnd = r.f64();
+    cp.sweepsTotal = r.i32();
+    cp.width = r.i32();
+    cp.height = r.i32();
+    cp.numLabels = r.i32();
+    cp.stripes = r.i32();
+    cp.randomScan = r.u8() != 0;
+    cp.sweepsDone = r.i32();
+
+    if (!r.ok())
+        return fail("truncated snapshot header");
+    if (cp.width <= 0 || cp.width > kMaxDim || cp.height <= 0 ||
+        cp.height > kMaxDim)
+        return fail("implausible label-field dimensions");
+    if (cp.numLabels <= 0)
+        return fail("non-positive label count");
+    if (cp.sweepsTotal <= 0 || cp.sweepsDone < 0 ||
+        cp.sweepsDone > cp.sweepsTotal)
+        return fail("sweep counter outside the annealing schedule");
+    if (cp.stripes < 0)
+        return fail("negative stripe count");
+
+    const std::uint64_t pixels = r.u64();
+    if (pixels != static_cast<std::uint64_t>(cp.width) * cp.height)
+        return fail("label count disagrees with dimensions");
+    if (pixels > r.remaining() / 4)
+        return fail("truncated label field");
+    cp.labels = img::LabelMap(cp.width, cp.height, 0);
+    for (int &l : cp.labels.data()) {
+        l = r.i32();
+        if (l < 0 || l >= cp.numLabels)
+            return fail("label value out of range");
+    }
+
+    cp.solverGen = r.words();
+
+    const std::uint64_t order_n = r.u64();
+    if (order_n > r.remaining() / 4)
+        return fail("truncated scan-order buffer");
+    cp.scanOrder.resize(static_cast<std::size_t>(order_n));
+    for (std::uint32_t &p : cp.scanOrder)
+        p = r.u32();
+
+    cp.samplerState = r.words();
+
+    const std::uint64_t n_stripes = r.u64();
+    if (n_stripes > r.remaining() / 8)
+        return fail("truncated stripe-state table");
+    cp.stripeSamplerState.resize(static_cast<std::size_t>(n_stripes));
+    for (std::vector<std::uint64_t> &s : cp.stripeSamplerState)
+        s = r.words();
+
+    cp.trace.pixelUpdates = r.u64();
+    cp.trace.labelChanges = r.u64();
+    const std::uint64_t n_energy = r.u64();
+    if (n_energy > r.remaining() / 8)
+        return fail("truncated energy trace");
+    cp.trace.energyPerSweep.resize(static_cast<std::size_t>(n_energy));
+    for (double &e : cp.trace.energyPerSweep)
+        e = r.f64();
+    const std::uint64_t n_temp = r.u64();
+    if (n_temp > r.remaining() / 8)
+        return fail("truncated temperature trace");
+    cp.trace.temperaturePerSweep.resize(
+        static_cast<std::size_t>(n_temp));
+    for (double &t : cp.trace.temperaturePerSweep)
+        t = r.f64();
+
+    if (!r.ok())
+        return fail("truncated snapshot payload");
+    if (!r.atEnd())
+        return fail("trailing bytes after snapshot payload");
+
+    *out = std::move(cp);
+    return true;
+}
+
+bool
+SolverCheckpoint::writeFile(const std::string &path,
+                            std::string *error) const
+{
+    const std::vector<unsigned char> payload = serialize();
+    return util::writeSnapshotFile(path, kKind, kVersion, payload,
+                                   error);
+}
+
+bool
+SolverCheckpoint::readFile(const std::string &path,
+                           SolverCheckpoint *out, std::string *error)
+{
+    std::vector<unsigned char> payload;
+    if (!util::readSnapshotFile(path, kKind, kVersion, &payload, error))
+        return false;
+    std::string detail;
+    if (!deserialize(payload, out, &detail)) {
+        if (error)
+            *error = "snapshot '" + path + "': " + detail;
+        return false;
+    }
+    return true;
+}
+
+namespace detail {
+
+bool
+shouldCheckpoint(const SolverConfig &config, int done)
+{
+    if (config.checkpointEvery <= 0)
+        return false;
+    return done % config.checkpointEvery == 0 ||
+           done == config.annealing.sweeps;
+}
+
+void
+emitCheckpoint(const SolverConfig &config,
+               const SolverCheckpoint &checkpoint)
+{
+    if (config.checkpointSink) {
+        config.checkpointSink(checkpoint);
+        return;
+    }
+    std::string error;
+    if (!checkpoint.writeFile(config.checkpointPath, &error))
+        RETSIM_FATAL("checkpoint write failed: ", error);
+}
+
+void
+validateResume(const SolverCheckpoint &cp, const char *solverKind,
+               const SolverConfig &config, int width, int height,
+               int numLabels, const std::string &samplerName,
+               int stripes)
+{
+    if (cp.solverKind != solverKind)
+        RETSIM_FATAL("resume snapshot was taken by solver '",
+                     cp.solverKind, "', not '", solverKind, "'");
+    if (cp.seed != config.seed)
+        RETSIM_FATAL("resume snapshot seed ", cp.seed,
+                     " does not match configured seed ", config.seed);
+    if (cp.t0 != config.annealing.t0 ||
+        cp.tEnd != config.annealing.tEnd ||
+        cp.sweepsTotal != config.annealing.sweeps)
+        RETSIM_FATAL("resume snapshot annealing schedule (t0=", cp.t0,
+                     ", tEnd=", cp.tEnd, ", sweeps=", cp.sweepsTotal,
+                     ") does not match configured (t0=",
+                     config.annealing.t0, ", tEnd=",
+                     config.annealing.tEnd, ", sweeps=",
+                     config.annealing.sweeps, ")");
+    if (cp.width != width || cp.height != height)
+        RETSIM_FATAL("resume snapshot is ", cp.width, "x", cp.height,
+                     ", problem is ", width, "x", height);
+    if (cp.numLabels != numLabels)
+        RETSIM_FATAL("resume snapshot has ", cp.numLabels,
+                     " labels, problem has ", numLabels);
+    if (cp.stripes != stripes)
+        RETSIM_FATAL("resume snapshot used ", cp.stripes,
+                     " stripes, this run uses ", stripes,
+                     " (stripe decomposition must match for "
+                     "bit-exact replay)");
+    if (cp.randomScan != config.randomScan)
+        RETSIM_FATAL("resume snapshot scan mode (randomScan=",
+                     cp.randomScan, ") does not match configured (",
+                     config.randomScan, ")");
+    if (cp.samplerName != samplerName)
+        RETSIM_FATAL("resume snapshot sampler '", cp.samplerName,
+                     "' does not match configured sampler '",
+                     samplerName, "'");
+    if (cp.labels.width() != width || cp.labels.height() != height)
+        RETSIM_FATAL("resume snapshot label field is malformed");
+}
+
+} // namespace detail
+
+} // namespace mrf
+} // namespace retsim

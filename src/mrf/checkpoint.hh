@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Complete solver-state snapshot for crash-safe checkpoint/resume.
+ *
+ * A SolverCheckpoint captures everything a Gibbs run needs to continue
+ * bit-exactly after being killed: the label field, the solver's own
+ * RNG stream, the random-scan permutation buffer, the caller sampler's
+ * state (counters plus any owned entropy position), every stripe
+ * clone's sampler state, the annealing position (sweeps done), and the
+ * accumulated trace.  Identity fields (solver kind, seed, schedule,
+ * problem dimensions, stripe decomposition, sampler name) guard
+ * against resuming a snapshot into a different run configuration.
+ *
+ * Snapshots serialize through the util/checkpoint container: a
+ * versioned, CRC-guarded binary format written atomically (temp file +
+ * rename).  The replay contract — verified by tools/replay_check and
+ * tests/checkpoint_test — is that killing a run at any checkpoint
+ * boundary and resuming produces byte-identical labels AND an
+ * identical final snapshot (RNG words, sampler counters, trace) versus
+ * the uninterrupted run, across the serial, striped, and every SIMD
+ * backend path.
+ */
+
+#ifndef RETSIM_MRF_CHECKPOINT_HH
+#define RETSIM_MRF_CHECKPOINT_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "img/image.hh"
+#include "mrf/gibbs.hh"
+
+namespace retsim {
+namespace mrf {
+
+struct SolverCheckpoint
+{
+    /** Payload format version inside the snapshot container. */
+    static constexpr std::uint32_t kVersion = 1;
+    /** Container kind tag; readers reject other snapshot kinds. */
+    static constexpr const char *kKind = "SOLVERCP";
+
+    // ---- identity: must match the resuming configuration -------------
+    std::string solverKind;   ///< "gibbs" or "checkerboard"
+    std::string samplerName;  ///< LabelSampler::name() of the run
+    std::uint64_t seed = 0;
+    double t0 = 0.0;
+    double tEnd = 0.0;
+    int sweepsTotal = 0;
+    int width = 0;
+    int height = 0;
+    int numLabels = 0;
+    /** Effective stripe count; 0 for the single-stream serial paths. */
+    int stripes = 0;
+    bool randomScan = false;
+
+    // ---- mutable state ------------------------------------------------
+    int sweepsDone = 0;
+    img::LabelMap labels;
+    /** Solver generator words (after init draws were consumed). */
+    std::vector<std::uint64_t> solverGen;
+    /** Random-scan permutation buffer (empty for raster scans). */
+    std::vector<std::uint32_t> scanOrder;
+    /** Caller sampler's saveState() words. */
+    std::vector<std::uint64_t> samplerState;
+    /** Per-stripe clone states, index = stripe (striped path only). */
+    std::vector<std::vector<std::uint64_t>> stripeSamplerState;
+    SolverTrace trace;
+
+    /** Flat little-endian payload (container-less). */
+    std::vector<unsigned char> serialize() const;
+
+    /**
+     * Rebuild from a serialize() payload.  Structural validation only
+     * (truncation, dimension sanity, label range); configuration
+     * matching is the solver's job at resume time.
+     */
+    static bool deserialize(std::span<const unsigned char> payload,
+                            SolverCheckpoint *out, std::string *error);
+
+    /** Atomic CRC-guarded file write (util::writeSnapshotFile). */
+    bool writeFile(const std::string &path, std::string *error) const;
+
+    /** Validated file read; rejects corruption, truncation, version
+     *  or kind mismatches with a diagnostic naming @p path. */
+    static bool readFile(const std::string &path, SolverCheckpoint *out,
+                         std::string *error);
+};
+
+namespace detail {
+
+/** True when a checkpoint should be emitted after 1-based sweep count
+ *  @p done: every checkpointEvery-th sweep, and always the last. */
+bool shouldCheckpoint(const SolverConfig &config, int done);
+
+/** Route a captured snapshot to the sink hook or the default atomic
+ *  file writer; fatal on write failure or missing destination. */
+void emitCheckpoint(const SolverConfig &config,
+                    const SolverCheckpoint &checkpoint);
+
+/**
+ * Fatal unless @p cp matches the resuming run: solver kind, seed,
+ * annealing schedule, problem dimensions and label count, stripe
+ * decomposition, scan mode, sampler identity, and a complete,
+ * in-range label field.  Every diagnostic names the mismatched field.
+ */
+void validateResume(const SolverCheckpoint &cp, const char *solverKind,
+                    const SolverConfig &config, int width, int height,
+                    int numLabels, const std::string &samplerName,
+                    int stripes);
+
+} // namespace detail
+
+} // namespace mrf
+} // namespace retsim
+
+#endif // RETSIM_MRF_CHECKPOINT_HH

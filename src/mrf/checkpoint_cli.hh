@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared --checkpoint-path / --checkpoint-every / --resume wiring for
+ * the example binaries and tools, so every runner exposes the same
+ * crash-safe checkpoint interface:
+ *
+ *   --checkpoint-path=P    write snapshots to P (atomic, CRC-guarded)
+ *   --checkpoint-every=N   snapshot cadence in sweeps (default 25
+ *                          once a path is given; always snapshots
+ *                          after the final sweep too)
+ *   --resume=P             restore solver state from snapshot P and
+ *                          continue; fatal with a diagnostic naming P
+ *                          if the file is corrupt or mismatched
+ *
+ * Binaries that anneal several solver variants in one process pass a
+ * distinct @p variant per run; paths expand to "P.<variant>" so each
+ * variant owns its own snapshot file.
+ */
+
+#ifndef RETSIM_MRF_CHECKPOINT_CLI_HH
+#define RETSIM_MRF_CHECKPOINT_CLI_HH
+
+#include <string>
+
+#include "mrf/gibbs.hh"
+
+namespace retsim {
+namespace util {
+class CliArgs;
+} // namespace util
+
+namespace mrf {
+
+/**
+ * Apply the checkpoint/resume command-line options to @p config.
+ * Fatal on a malformed combination (--checkpoint-every without a
+ * path) or an unreadable/corrupt --resume snapshot.
+ */
+void checkpointFromCli(const util::CliArgs &args, SolverConfig *config,
+                       const std::string &variant = "");
+
+} // namespace mrf
+} // namespace retsim
+
+#endif // RETSIM_MRF_CHECKPOINT_CLI_HH

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "img/image.hh"
@@ -22,6 +24,8 @@
 
 namespace retsim {
 namespace mrf {
+
+struct SolverCheckpoint;
 
 /** Geometric annealing: T(s) = t0 * ratio^s, floored at tEnd. */
 struct AnnealingSchedule
@@ -76,6 +80,46 @@ struct SolverConfig
     std::function<void(int sweep, double temperature,
                        const img::LabelMap &labels)>
         sweepObserver;
+    /**
+     * Crash-safe checkpointing: when > 0, the solver captures its
+     * complete state (labels, RNG streams, sampler counters and
+     * entropy positions, annealing position, trace) after every
+     * checkpointEvery-th sweep — and always after the final sweep —
+     * and hands it to checkpointSink, or writes it atomically to
+     * checkpointPath when no sink is set.  A run killed between
+     * checkpoints loses at most checkpointEvery - 1 sweeps; resuming
+     * from the snapshot replays the remaining sweeps bit-exactly
+     * (byte-identical labels and final RNG/sampler state versus the
+     * uninterrupted run).  0 disables checkpointing entirely.
+     */
+    int checkpointEvery = 0;
+    /**
+     * Snapshot destination for the default sink: written via temp
+     * file + atomic rename, so a crash mid-write preserves the
+     * previous snapshot.  Required when checkpointEvery > 0 unless a
+     * checkpointSink is installed.
+     */
+    std::string checkpointPath;
+    /**
+     * Checkpoint hook alongside sweepObserver: receives every
+     * captured snapshot instead of the default file writer.  The
+     * snapshot is self-contained (the solver's buffers are copied),
+     * so the sink may keep it beyond the call.
+     */
+    std::function<void(const SolverCheckpoint &checkpoint)>
+        checkpointSink;
+    /**
+     * Resume a previous run from this snapshot (see
+     * SolverCheckpoint::readFile).  The snapshot must match this
+     * configuration — solver kind, seed, annealing schedule, problem
+     * dimensions, label count, stripe decomposition, sampler — or the
+     * solver exits with a diagnostic naming the mismatch.  When set,
+     * randomInit is skipped, the label field / RNG streams / sampler
+     * state / trace are restored, and sweeps continue from where the
+     * snapshot was taken.  A caller-passed trace is overwritten with
+     * the restored trace.
+     */
+    std::shared_ptr<const SolverCheckpoint> resume;
 };
 
 struct SolverTrace

@@ -125,6 +125,35 @@ class LabelSampler
     }
 
     /**
+     * Append the sampler's evolving state — instrumentation counters
+     * and any owned entropy source — to @p out as 64-bit words, so a
+     * solver checkpoint can persist it and a resumed run replays
+     * bit-exactly (same labels, same entropy stream positions, same
+     * final counters).  Configuration (RsuConfig, LUT capacity) is
+     * NOT serialized: state restores into a sampler constructed with
+     * the same configuration.  Derived caches (conversion LUTs) are
+     * rebuilt on restore, not stored.  The default, for stateless
+     * samplers, saves nothing.
+     */
+    virtual void
+    saveState(std::vector<std::uint64_t> &out) const
+    {
+        (void)out;
+    }
+
+    /**
+     * Restore state written by saveState() of the same sampler type
+     * and configuration.  Returns false (sampler unchanged or
+     * partially restored — treat as fatal) when the word layout does
+     * not match.
+     */
+    virtual bool
+    loadState(std::span<const std::uint64_t> words)
+    {
+        return words.empty();
+    }
+
+    /**
      * Create an independent sampler of the same configuration with
      * private scratch state, so each worker of a parallel solver can
      * sample concurrently without sharing mutable state.

@@ -44,6 +44,24 @@ class Lfsr : public Rng
     std::string name() const override;
     std::unique_ptr<Rng> split(std::uint64_t stream) const override;
 
+    /** Width and taps are configuration; the register is the state. */
+    void
+    saveState(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(state_);
+    }
+
+    bool
+    loadState(std::span<const std::uint64_t> words) override
+    {
+        // An all-zero register locks a Fibonacci LFSR up for good;
+        // reject it like the constructor does.
+        if (words.size() != 1 || words[0] == 0)
+            return false;
+        state_ = words[0];
+        return true;
+    }
+
     unsigned width() const { return width_; }
     std::uint64_t state() const { return state_; }
 

@@ -1,5 +1,7 @@
 #include "rng/rng.hh"
 
+#include <sstream>
+
 #include "util/logging.hh"
 
 namespace retsim {
@@ -111,6 +113,44 @@ Xoshiro256::jump()
         }
     }
     s_ = acc;
+}
+
+void
+Mt19937::saveState(std::vector<std::uint64_t> &out) const
+{
+    // std::mt19937_64's only portable state access is the textual
+    // stream form: 312 state words plus the read position, all decimal
+    // u64s.  Pack them (plus the split() seed) into words directly.
+    out.push_back(seed_);
+    std::ostringstream oss;
+    oss << engine_;
+    std::istringstream iss(oss.str());
+    std::uint64_t word = 0;
+    while (iss >> word)
+        out.push_back(word);
+}
+
+bool
+Mt19937::loadState(std::span<const std::uint64_t> words)
+{
+    // seed_ + 312 state words + stream position.
+    constexpr std::size_t kWords = 1 + 312 + 1;
+    if (words.size() != kWords)
+        return false;
+    std::ostringstream oss;
+    for (std::size_t i = 1; i < words.size(); ++i) {
+        if (i > 1)
+            oss << ' ';
+        oss << words[i];
+    }
+    std::istringstream iss(oss.str());
+    std::mt19937_64 restored;
+    iss >> restored;
+    if (!iss)
+        return false;
+    seed_ = words[0];
+    engine_ = restored;
+    return true;
 }
 
 std::uint64_t

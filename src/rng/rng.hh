@@ -13,6 +13,7 @@
 #ifndef RETSIM_RNG_RNG_HH
 #define RETSIM_RNG_RNG_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -45,6 +46,25 @@ class Rng
      * parent's own sequence is not advanced.
      */
     virtual std::unique_ptr<Rng> split(std::uint64_t stream) const = 0;
+
+    /**
+     * Append the generator's complete evolving state to @p out as
+     * 64-bit words, such that loadState() on a generator of the same
+     * concrete type and configuration reproduces the exact future
+     * draw sequence.  Fixed construction parameters (LFSR width/taps,
+     * a CountingRng's script) are NOT serialized — state restores
+     * into an identically configured instance.  This is what solver
+     * checkpoints persist so a resumed chain replays bit-exactly.
+     */
+    virtual void saveState(std::vector<std::uint64_t> &out) const = 0;
+
+    /**
+     * Restore state written by saveState() of the same generator
+     * type.  Returns false (leaving the generator unchanged) when the
+     * word count does not match the type's layout — the caller's
+     * signal that a snapshot belongs to a different generator.
+     */
+    virtual bool loadState(std::span<const std::uint64_t> words) = 0;
 
     /** Uniform double in [0, 1) with 53 bits of precision. */
     double
@@ -96,6 +116,21 @@ class SplitMix64 : public Rng
     std::string name() const override { return "splitmix64"; }
     std::unique_ptr<Rng> split(std::uint64_t stream) const override;
 
+    void
+    saveState(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(state_);
+    }
+
+    bool
+    loadState(std::span<const std::uint64_t> words) override
+    {
+        if (words.size() != 1)
+            return false;
+        state_ = words[0];
+        return true;
+    }
+
   private:
     std::uint64_t state_;
 };
@@ -134,6 +169,21 @@ class Xoshiro256 final : public Rng
     std::unique_ptr<Rng> split(std::uint64_t stream) const override;
     void fillUniform(std::span<double> out) override;
     void fillUniformOpenLow(std::span<double> out) override;
+
+    void
+    saveState(std::vector<std::uint64_t> &out) const override
+    {
+        out.insert(out.end(), s_.begin(), s_.end());
+    }
+
+    bool
+    loadState(std::span<const std::uint64_t> words) override
+    {
+        if (words.size() != s_.size())
+            return false;
+        std::copy(words.begin(), words.end(), s_.begin());
+        return true;
+    }
 
     /** Advance 2^128 steps; yields an independent parallel stream. */
     void jump();
@@ -178,6 +228,9 @@ class Mt19937 : public Rng
         return std::make_unique<Mt19937>(streamSeed(seed_, stream));
     }
 
+    void saveState(std::vector<std::uint64_t> &out) const override;
+    bool loadState(std::span<const std::uint64_t> words) override;
+
   private:
     std::mt19937_64 engine_;
     std::uint64_t seed_;
@@ -213,6 +266,22 @@ class CountingRng : public Rng
     {
         (void)stream;
         return std::make_unique<CountingRng>(values_);
+    }
+
+    /** The script is configuration; only the cursor is state. */
+    void
+    saveState(std::vector<std::uint64_t> &out) const override
+    {
+        out.push_back(pos_);
+    }
+
+    bool
+    loadState(std::span<const std::uint64_t> words) override
+    {
+        if (words.size() != 1)
+            return false;
+        pos_ = static_cast<std::size_t>(words[0]);
+        return true;
     }
 
   private:

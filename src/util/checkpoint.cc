@@ -1,0 +1,159 @@
+#include "util/checkpoint.hh"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+namespace retsim {
+namespace util {
+
+namespace {
+
+/** Container header preceding every snapshot payload. */
+constexpr char kMagic[8] = {'R', 'E', 'T', 'S', 'N', 'A', 'P', '\0'};
+constexpr std::uint32_t kContainerVersion = 1;
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+std::string
+padKind(const std::string &kind)
+{
+    std::string k = kind.substr(0, 8);
+    k.resize(8, ' ');
+    return k;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::span<const unsigned char> data)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = 0xffffffffu;
+    for (unsigned char b : data)
+        c = table[(c ^ b) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+bool
+writeSnapshotFile(const std::string &path, const std::string &kind,
+                  std::uint32_t version,
+                  std::span<const unsigned char> payload,
+                  std::string *error)
+{
+    ByteWriter header;
+    for (char c : kMagic)
+        header.u8(static_cast<std::uint8_t>(c));
+    header.u32(kContainerVersion);
+    for (char c : padKind(kind))
+        header.u8(static_cast<std::uint8_t>(c));
+    header.u32(version);
+    header.u64(payload.size());
+    header.u32(crc32(payload));
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            if (error)
+                *error = "cannot open '" + tmp + "' for writing";
+            return false;
+        }
+        out.write(reinterpret_cast<const char *>(
+                      header.bytes().data()),
+                  static_cast<std::streamsize>(header.bytes().size()));
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+        out.flush();
+        if (!out) {
+            if (error)
+                *error = "short write to '" + tmp + "'";
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    // POSIX rename is atomic: readers see either the old snapshot or
+    // the complete new one, never a torn mix.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error)
+            *error = "cannot rename '" + tmp + "' to '" + path + "'";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readSnapshotFile(const std::string &path, const std::string &kind,
+                 std::uint32_t version,
+                 std::vector<unsigned char> *payload,
+                 std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = "snapshot '" + path + "': " + what;
+        return false;
+    };
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return fail("cannot open for reading");
+    std::vector<unsigned char> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        return fail("read error");
+
+    ByteReader r(bytes);
+    char magic[8];
+    for (char &c : magic)
+        c = static_cast<char>(r.u8());
+    if (!r.ok() || !std::equal(std::begin(magic), std::end(magic),
+                               std::begin(kMagic)))
+        return fail("not a retsim snapshot (bad magic)");
+    std::uint32_t container = r.u32();
+    if (container != kContainerVersion)
+        return fail("unsupported container version " +
+                    std::to_string(container) + " (expected " +
+                    std::to_string(kContainerVersion) + ")");
+    std::string file_kind;
+    for (int i = 0; i < 8; ++i)
+        file_kind.push_back(static_cast<char>(r.u8()));
+    if (file_kind != padKind(kind))
+        return fail("wrong snapshot kind '" + file_kind +
+                    "' (expected '" + padKind(kind) + "')");
+    std::uint32_t file_version = r.u32();
+    if (file_version != version)
+        return fail("payload version mismatch: file has " +
+                    std::to_string(file_version) + ", this build reads " +
+                    std::to_string(version));
+    std::uint64_t size = r.u64();
+    std::uint32_t want_crc = r.u32();
+    if (!r.ok())
+        return fail("truncated header");
+    if (size != r.remaining())
+        return fail("payload length mismatch (header says " +
+                    std::to_string(size) + " bytes, file has " +
+                    std::to_string(r.remaining()) + ")");
+
+    std::span<const unsigned char> body(
+        bytes.data() + (bytes.size() - r.remaining()), r.remaining());
+    if (crc32(body) != want_crc)
+        return fail("CRC mismatch (file is corrupted)");
+    payload->assign(body.begin(), body.end());
+    return true;
+}
+
+} // namespace util
+} // namespace retsim

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Crash-safe binary snapshot primitives.
+ *
+ * Three layers, each usable on its own:
+ *
+ *  - ByteWriter / ByteReader: little-endian append/cursor buffers the
+ *    checkpointable components (RNG streams, samplers, solvers)
+ *    serialize through.  The reader never throws and never reads past
+ *    the end — it latches a failure flag instead, so a truncated or
+ *    corrupted payload degrades into one `ok()` check at the end of
+ *    deserialization rather than UB.
+ *
+ *  - crc32(): the IEEE 802.3 reflected CRC-32 every snapshot payload
+ *    is guarded with.
+ *
+ *  - writeSnapshotFile() / readSnapshotFile(): a versioned container
+ *    (magic, kind tag, payload version, length, CRC) written
+ *    atomically via temp-file + rename, so a crash mid-write can
+ *    never destroy the previous good snapshot, and a torn or
+ *    bit-flipped file is rejected with a diagnostic naming the path
+ *    and the defect instead of being half-loaded.
+ */
+
+#ifndef RETSIM_UTIL_CHECKPOINT_HH
+#define RETSIM_UTIL_CHECKPOINT_HH
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace retsim {
+namespace util {
+
+/** Append-only little-endian serialization buffer. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<unsigned char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(
+                static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(
+                static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    /** Length-prefixed byte string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    /** Length-prefixed u64 vector (RNG/sampler state words). */
+    void
+    words(std::span<const std::uint64_t> w)
+    {
+        u64(w.size());
+        for (std::uint64_t v : w)
+            u64(v);
+    }
+
+    const std::vector<unsigned char> &bytes() const { return buf_; }
+    std::vector<unsigned char> take() { return std::move(buf_); }
+
+  private:
+    std::vector<unsigned char> buf_;
+};
+
+/**
+ * Cursor over a serialized buffer.  Any read past the end (or a
+ * length prefix larger than the remaining bytes) latches `ok() ==
+ * false` and yields zero values; callers deserialize the whole
+ * structure and check ok() once.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const unsigned char> data)
+        : data_(data)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = u64();
+        if (!need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data_.data()) +
+                          pos_,
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    std::vector<std::uint64_t>
+    words()
+    {
+        std::uint64_t n = u64();
+        // Guard the multiply before trusting a hostile length prefix.
+        if (n > remaining() / 8) {
+            ok_ = false;
+            return {};
+        }
+        std::vector<std::uint64_t> w(static_cast<std::size_t>(n));
+        for (std::uint64_t &v : w)
+            v = u64();
+        return w;
+    }
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+  private:
+    bool
+    need(std::uint64_t n)
+    {
+        if (!ok_ || n > remaining()) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::span<const unsigned char> data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** IEEE 802.3 reflected CRC-32 (the zlib/PNG polynomial). */
+std::uint32_t crc32(std::span<const unsigned char> data);
+
+/**
+ * Write @p payload to @p path inside the versioned, CRC-guarded
+ * snapshot container, atomically: the bytes land in "<path>.tmp"
+ * first and are renamed over @p path only after a successful flush,
+ * so an interrupted write leaves any previous snapshot intact.
+ *
+ * @param kind Eight-byte-max ASCII tag naming the payload type
+ *        (e.g. "SOLVERCP"); readers reject mismatches.
+ * @param version Payload format version; readers reject mismatches.
+ * @return false with a path-annotated message in @p error on I/O
+ *         failure.
+ */
+bool writeSnapshotFile(const std::string &path, const std::string &kind,
+                       std::uint32_t version,
+                       std::span<const unsigned char> payload,
+                       std::string *error);
+
+/**
+ * Read and validate a snapshot container written by
+ * writeSnapshotFile.  Magic, kind tag, version, length and CRC are
+ * all checked; any mismatch (truncation, corruption, wrong or future
+ * format) fails with a diagnostic naming @p path and the defect.
+ */
+bool readSnapshotFile(const std::string &path, const std::string &kind,
+                      std::uint32_t version,
+                      std::vector<unsigned char> *payload,
+                      std::string *error);
+
+} // namespace util
+} // namespace retsim
+
+#endif // RETSIM_UTIL_CHECKPOINT_HH

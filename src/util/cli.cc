@@ -1,8 +1,7 @@
 #include "util/cli.hh"
 
-#include <cstdlib>
-
 #include "util/logging.hh"
+#include "util/parse.hh"
 
 namespace retsim {
 namespace util {
@@ -46,9 +45,8 @@ CliArgs::getInt(const std::string &key, long def) const
     auto it = options_.find(key);
     if (it == options_.end())
         return def;
-    char *end = nullptr;
-    long v = std::strtol(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0')
+    long v = 0;
+    if (!parseLong(it->second, &v))
         RETSIM_FATAL("option --", key, " expects an integer, got '",
                      it->second, "'");
     return v;
@@ -60,10 +58,9 @@ CliArgs::getDouble(const std::string &key, double def) const
     auto it = options_.find(key);
     if (it == options_.end())
         return def;
-    char *end = nullptr;
-    double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0')
-        RETSIM_FATAL("option --", key, " expects a number, got '",
+    double v = 0.0;
+    if (!parseDouble(it->second, &v))
+        RETSIM_FATAL("option --", key, " expects a finite number, got '",
                      it->second, "'");
     return v;
 }

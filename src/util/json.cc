@@ -209,7 +209,7 @@ struct Parser
 
     bool parseValue(JsonValue *out, int depth)
     {
-        if (depth > 128)
+        if (depth > JsonValue::kMaxParseDepth)
             return fail("nesting too deep");
         skipWs();
         if (p >= end)
@@ -305,6 +305,11 @@ struct Parser
             auto [next, ec] = std::from_chars(p, end, value);
             if (ec != std::errc{})
                 return fail("malformed number");
+            // from_chars accepts "-inf"/"-nan" spellings; JSON has
+            // no such tokens, so non-finite results are rejected
+            // rather than smuggled into downstream arithmetic.
+            if (!std::isfinite(value))
+                return fail("non-finite number");
             p = next;
             *out = JsonValue(value);
             return true;

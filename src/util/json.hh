@@ -28,6 +28,13 @@ class JsonValue
 
     using Member = std::pair<std::string, JsonValue>;
 
+    /**
+     * Parser recursion cap.  Nesting beyond this depth is rejected
+     * ("nesting too deep") instead of overflowing the stack on
+     * adversarial input like ten thousand '['s.
+     */
+    static constexpr int kMaxParseDepth = 128;
+
     JsonValue() : kind_(Kind::Null) {}
     explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
     explicit JsonValue(double n) : kind_(Kind::Number), number_(n) {}
@@ -42,7 +49,9 @@ class JsonValue
     /**
      * Parse @p text into @p out.  On failure returns false and, when
      * @p error is non-null, stores a "line N: ..." description.
-     * Trailing garbage after the top-level value is an error.
+     * Trailing garbage after the top-level value is an error, as are
+     * non-finite numbers ("-inf", "nan": JSON has no such tokens)
+     * and nesting deeper than kMaxParseDepth.
      */
     static bool parse(const std::string &text, JsonValue *out,
                       std::string *error = nullptr);

@@ -1,0 +1,67 @@
+#include "util/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace retsim {
+namespace util {
+
+namespace {
+
+/** strto* accepts leading whitespace; a clean token never has any. */
+bool
+startsClean(const std::string &text)
+{
+    return !text.empty() &&
+           !std::isspace(static_cast<unsigned char>(text.front()));
+}
+
+} // namespace
+
+bool
+parseLong(const std::string &text, long *out)
+{
+    if (!startsClean(text))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &text, unsigned long *out)
+{
+    if (!startsClean(text) || text.front() == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &text, double *out)
+{
+    if (!startsClean(text))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace util
+} // namespace retsim

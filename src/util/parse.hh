@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Strict full-token numeric parsing.
+ *
+ * The std::sto* family throws on malformed text and silently accepts
+ * trailing garbage ("3abc" parses as 3); the raw strto* calls clamp
+ * out-of-range values without telling the caller.  Every user-facing
+ * numeric input in retsim (CLI flags, RsuConfig strings, file headers)
+ * goes through these helpers instead: the whole token must parse, the
+ * value must be in range, and failures come back as a bool so the
+ * caller can report *which* key or file carried the bad value.  None
+ * of these throw.
+ */
+
+#ifndef RETSIM_UTIL_PARSE_HH
+#define RETSIM_UTIL_PARSE_HH
+
+#include <string>
+
+namespace retsim {
+namespace util {
+
+/**
+ * Parse @p text as a base-10 signed integer.  Fails on empty input,
+ * leading whitespace, trailing garbage, or a value outside long's
+ * range.  @p out is untouched on failure.
+ */
+bool parseLong(const std::string &text, long *out);
+
+/**
+ * Parse @p text as a base-10 unsigned integer.  Same strictness as
+ * parseLong, and additionally rejects a leading '-' (strtoul would
+ * silently wrap negative input around).
+ */
+bool parseUnsigned(const std::string &text, unsigned long *out);
+
+/**
+ * Parse @p text as a finite double.  Fails on empty input, leading
+ * whitespace, trailing garbage, overflow to +/-inf, and on "nan" /
+ * "inf" spellings — a configuration value that is not a finite number
+ * is never meaningful downstream.  @p out is untouched on failure.
+ */
+bool parseDouble(const std::string &text, double *out);
+
+} // namespace util
+} // namespace retsim
+
+#endif // RETSIM_UTIL_PARSE_HH

@@ -15,9 +15,24 @@
  * Everything here is deterministic per (seed, binary): the solvers
  * consume only their own RNG streams.  The tolerances exist to absorb
  * cross-toolchain libm differences, not run-to-run noise.
+ *
+ * Checkpoint/resume drill (the CI resume-equivalence leg):
+ *
+ *   --checkpoint-dir=D     each app snapshots to D/<app>.ckpt
+ *   --checkpoint-every=N   snapshot cadence in sweeps (default 5)
+ *   --resume               restore any app whose snapshot exists
+ *   --die-at-sweep=K       simulated crash: exit 17 right after the
+ *                          first snapshot at or past sweep K (only in
+ *                          runs that started before K)
+ *   --values-out=P         dump the observed metric values as JSON
+ *
+ * Looping "run until exit 0" with --resume and --die-at-sweep kills
+ * and resumes each app in turn; because resume is bit-exact, the
+ * final --values-out file is byte-identical to an uninterrupted run's.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -31,10 +46,12 @@
 #include "core/rsu_config.hh"
 #include "core/sampler_rsu.hh"
 #include "img/synthetic.hh"
+#include "mrf/checkpoint.hh"
 #include "obs/telemetry_cli.hh"
 #include "simd/simd_cli.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
+#include "util/logging.hh"
 
 namespace {
 
@@ -69,9 +86,68 @@ makeSampler()
     return core::RsuSampler(core::RsuConfig::newDesign());
 }
 
+/** Crash-drill options for the CI resume-equivalence leg. */
+struct CheckpointDrill
+{
+    std::string dir;    ///< empty = checkpointing disabled
+    int every = 5;      ///< snapshot cadence in sweeps
+    bool resume = false;
+    int dieAtSweep = -1; ///< exit 17 after this sweep's snapshot
+};
+
+/**
+ * Arm one app's solver config for the drill: snapshot to
+ * <dir>/<app>.ckpt, restore from it when resuming, and simulate a
+ * crash (exit 17) right after the first snapshot at or past
+ * dieAtSweep — but only in runs that started before that sweep, so a
+ * resumed run continues to completion instead of dying again.
+ */
+void
+armCheckpointing(mrf::SolverConfig &cfg, const CheckpointDrill &drill,
+                 const std::string &app)
+{
+    if (drill.dir.empty())
+        return;
+    const std::string path = drill.dir + "/" + app + ".ckpt";
+    cfg.checkpointEvery = drill.every;
+    cfg.checkpointPath = path;
+    if (drill.resume) {
+        std::ifstream probe(path, std::ios::binary);
+        if (probe) {
+            probe.close();
+            auto cp = std::make_shared<mrf::SolverCheckpoint>();
+            std::string error;
+            if (!mrf::SolverCheckpoint::readFile(path, cp.get(),
+                                                 &error))
+                RETSIM_FATAL(error);
+            cfg.resume = std::move(cp);
+        }
+    }
+    if (drill.dieAtSweep > 0) {
+        const int die = drill.dieAtSweep;
+        const int started_at =
+            cfg.resume ? cfg.resume->sweepsDone : 0;
+        cfg.checkpointSink = [path, app, die, started_at](
+                                 const mrf::SolverCheckpoint &cp) {
+            std::string error;
+            if (!cp.writeFile(path, &error))
+                RETSIM_FATAL("checkpoint write failed: ", error);
+            if (cp.sweepsDone >= die && started_at < die &&
+                cp.sweepsDone < cp.sweepsTotal) {
+                std::fprintf(stderr,
+                             "quality_gate: simulated crash in %s "
+                             "after sweep %d (snapshot %s)\n",
+                             app.c_str(), cp.sweepsDone,
+                             path.c_str());
+                std::exit(17);
+            }
+        };
+    }
+}
+
 /** Pinned miniature configs; one map entry per gated metric. */
 std::map<std::string, double>
-runMiniatureApps()
+runMiniatureApps(const CheckpointDrill &drill)
 {
     std::map<std::string, double> values;
 
@@ -84,8 +160,9 @@ runMiniatureApps()
         spec.numObjects = 4;
         auto scene = img::makeStereoScene(spec, 5);
         auto sampler = makeSampler();
-        auto result = apps::runStereo(
-            scene, sampler, apps::defaultStereoSolver(60, 9));
+        auto cfg = apps::defaultStereoSolver(60, 9);
+        armCheckpointing(cfg, drill, "stereo");
+        auto result = apps::runStereo(scene, sampler, cfg);
         values["stereo.bad_pixel_percent"] = result.badPixelPercent;
         values["stereo.rms_error"] = result.rmsError;
         std::printf("stereo        BP %.2f%%  RMS %.3f\n",
@@ -103,9 +180,10 @@ runMiniatureApps()
         auto sampler = makeSampler();
         apps::DenoisingParams params;
         params.levels = 16;
-        auto result = apps::runDenoising(
-            clean, noisy, sampler,
-            apps::defaultDenoisingSolver(30, 11), params);
+        auto cfg = apps::defaultDenoisingSolver(30, 11);
+        armCheckpointing(cfg, drill, "denoising");
+        auto result =
+            apps::runDenoising(clean, noisy, sampler, cfg, params);
         values["denoising.psnr_restored_db"] = result.psnrRestored;
         std::printf("denoising     PSNR %.2f dB (noisy %.2f dB)\n",
                     result.psnrRestored, result.psnrNoisy);
@@ -120,8 +198,9 @@ runMiniatureApps()
         spec.numObjects = 3;
         auto scene = img::makeMotionScene(spec, 17);
         auto sampler = makeSampler();
-        auto result = apps::runMotion(
-            scene, sampler, apps::defaultMotionSolver(40, 13));
+        auto cfg = apps::defaultMotionSolver(40, 13);
+        armCheckpointing(cfg, drill, "motion");
+        auto result = apps::runMotion(scene, sampler, cfg);
         values["motion.end_point_error"] = result.endPointError;
         std::printf("motion        EPE %.4f px\n",
                     result.endPointError);
@@ -136,8 +215,9 @@ runMiniatureApps()
         spec.numRegions = 10;
         auto scene = img::makeSegmentationScene(spec, 23);
         auto sampler = makeSampler();
-        auto result = apps::runSegmentation(
-            scene, sampler, apps::defaultSegmentationSolver(30, 19));
+        auto cfg = apps::defaultSegmentationSolver(30, 19);
+        armCheckpointing(cfg, drill, "segmentation");
+        auto result = apps::runSegmentation(scene, sampler, cfg);
         values["segmentation.voi"] = result.voi;
         values["segmentation.pri"] = result.pri;
         std::printf("segmentation  VoI %.4f  PRI %.4f\n", result.voi,
@@ -272,7 +352,36 @@ main(int argc, char **argv)
     obs::TelemetryScope telemetry =
         obs::telemetryFromCli(args, "quality_gate");
 
-    std::map<std::string, double> values = runMiniatureApps();
+    CheckpointDrill drill;
+    drill.dir = args.getString("checkpoint-dir", "");
+    drill.every = static_cast<int>(args.getInt("checkpoint-every", 5));
+    drill.resume = args.getBool("resume", false);
+    drill.dieAtSweep =
+        static_cast<int>(args.getInt("die-at-sweep", -1));
+    if (drill.dir.empty() &&
+        (drill.resume || drill.dieAtSweep > 0 ||
+         args.has("checkpoint-every")))
+        RETSIM_FATAL("--resume/--die-at-sweep/--checkpoint-every "
+                     "require --checkpoint-dir");
+    if (!drill.dir.empty() && drill.every <= 0)
+        RETSIM_FATAL("--checkpoint-every expects a positive sweep "
+                     "count, got ", drill.every);
+
+    std::map<std::string, double> values = runMiniatureApps(drill);
+
+    const std::string values_out = args.getString("values-out", "");
+    if (!values_out.empty()) {
+        std::ofstream out(values_out);
+        if (!out) {
+            std::fprintf(stderr, "quality_gate: cannot write %s\n",
+                         values_out.c_str());
+            return 2;
+        }
+        util::JsonValue root = util::JsonValue::object();
+        for (const auto &[name, value] : values)
+            root.set(name, util::JsonValue(value));
+        out << root.dump(2) << "\n";
+    }
 
     if (args.getBool("update-baselines", false))
         return updateBaselines(baselines, values);
