@@ -106,6 +106,20 @@ tryReadPgm(const std::string &path, ImageU8 *image, std::string *error)
             return fail("truncated payload (" +
                         std::to_string(in.gcount()) + " of " +
                         std::to_string(pixels) + " bytes)");
+        if (maxval < 255) {
+            // Same contract as the 16-bit branch: samples above
+            // maxval are malformed, and legal ones are rescaled to
+            // the full 8-bit pipeline range.
+            for (std::size_t i = 0; i < pixels; ++i) {
+                long long v = out.data()[i];
+                if (v > maxval)
+                    return fail("sample " + std::to_string(v) +
+                                " exceeds maxval " +
+                                std::to_string(maxval));
+                out.data()[i] = static_cast<std::uint8_t>(
+                    (v * 255 + maxval / 2) / maxval);
+            }
+        }
     } else {
         // Two-byte big-endian samples (Netpbm convention for
         // maxval > 255), scaled down to the 8-bit pipeline range.

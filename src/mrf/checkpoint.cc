@@ -117,9 +117,16 @@ SolverCheckpoint::deserialize(std::span<const unsigned char> payload,
     const std::uint64_t order_n = r.u64();
     if (order_n > r.remaining() / 4)
         return fail("truncated scan-order buffer");
+    // The solver indexes the restored order with width*height pixel
+    // positions, so anything but empty-or-full is memory-unsafe.
+    if (order_n != 0 && order_n != pixels)
+        return fail("scan-order length disagrees with dimensions");
     cp.scanOrder.resize(static_cast<std::size_t>(order_n));
-    for (std::uint32_t &p : cp.scanOrder)
+    for (std::uint32_t &p : cp.scanOrder) {
         p = r.u32();
+        if (p >= pixels)
+            return fail("scan-order entry out of range");
+    }
 
     cp.samplerState = r.words();
 

@@ -119,8 +119,9 @@ void
 Mt19937::saveState(std::vector<std::uint64_t> &out) const
 {
     // std::mt19937_64's only portable state access is the textual
-    // stream form: 312 state words plus the read position, all decimal
-    // u64s.  Pack them (plus the split() seed) into words directly.
+    // stream form: decimal u64s whose exact count is implementation-
+    // defined (312 state words, with or without a read position).
+    // Pack them (plus the split() seed) into words directly.
     out.push_back(seed_);
     std::ostringstream oss;
     oss << engine_;
@@ -133,9 +134,14 @@ Mt19937::saveState(std::vector<std::uint64_t> &out) const
 bool
 Mt19937::loadState(std::span<const std::uint64_t> words)
 {
-    // seed_ + 312 state words + stream position.
-    constexpr std::size_t kWords = 1 + 312 + 1;
-    if (words.size() != kWords)
+    // Layout: seed_ followed by the engine's textual stream form.  The
+    // number of engine words is implementation-defined (libstdc++
+    // emits the 312 state words plus a read position; libc++ emits
+    // only the normalized 312-word state), so instead of demanding a
+    // fixed count we hand everything after the seed to the stream
+    // extractor and let it judge — the container already
+    // length-prefixes the payload.
+    if (words.size() < 1 + 312)
         return false;
     std::ostringstream oss;
     for (std::size_t i = 1; i < words.size(); ++i) {
@@ -147,6 +153,11 @@ Mt19937::loadState(std::span<const std::uint64_t> words)
     std::mt19937_64 restored;
     iss >> restored;
     if (!iss)
+        return false;
+    // The extractor must have consumed every word we saved; leftovers
+    // mean the payload was produced by an incompatible layout.
+    std::uint64_t leftover = 0;
+    if (iss >> leftover)
         return false;
     seed_ = words[0];
     engine_ = restored;

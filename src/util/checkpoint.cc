@@ -4,6 +4,11 @@
 #include <cstdio>
 #include <fstream>
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace retsim {
 namespace util {
 
@@ -32,6 +37,26 @@ padKind(const std::string &kind)
     std::string k = kind.substr(0, 8);
     k.resize(8, ' ');
     return k;
+}
+
+/** Force `path` (a file or directory) to stable storage.  Without
+ *  this, a rename can survive a power failure while the renamed
+ *  file's data blocks do not, replacing the previous good snapshot
+ *  with a torn one.  No-op on platforms without fsync. */
+bool
+syncPath(const char *path)
+{
+#if !defined(_WIN32)
+    int fd = ::open(path, O_RDONLY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+#else
+    (void)path;
+    return true;
+#endif
 }
 
 } // namespace
@@ -83,6 +108,15 @@ writeSnapshotFile(const std::string &path, const std::string &kind,
             return false;
         }
     }
+    // Pin the temp file's data to disk before renaming it into place;
+    // rename alone is only atomic against process death, not power
+    // loss.
+    if (!syncPath(tmp.c_str())) {
+        if (error)
+            *error = "cannot fsync '" + tmp + "'";
+        std::remove(tmp.c_str());
+        return false;
+    }
     // POSIX rename is atomic: readers see either the old snapshot or
     // the complete new one, never a torn mix.
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -91,6 +125,12 @@ writeSnapshotFile(const std::string &path, const std::string &kind,
         std::remove(tmp.c_str());
         return false;
     }
+    // Make the rename itself durable.  Best effort: a directory that
+    // refuses fsync (some filesystems) does not fail the write.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    syncPath(dir.c_str());
     return true;
 }
 

@@ -258,6 +258,18 @@ TEST(RngState, WrongWordCountIsRejected)
     EXPECT_FALSE(m.loadState(bad));
 }
 
+TEST(RngState, Mt19937RejectsTrailingWords)
+{
+    // loadState accepts whatever word count this standard library's
+    // textual engine form uses, but words beyond it mean the payload
+    // came from an incompatible layout and must not be half-applied.
+    rng::Mt19937 a(7), b(999);
+    std::vector<std::uint64_t> state;
+    a.saveState(state);
+    state.push_back(12345);
+    EXPECT_FALSE(b.loadState(state));
+}
+
 // ------------------------------------------------------------------
 // Sampler state round-trips
 
@@ -409,6 +421,45 @@ TEST(SolverCheckpointFormat, RejectsSweepCounterPastSchedule)
     EXPECT_FALSE(mrf::SolverCheckpoint::deserialize(cp.serialize(),
                                                     &back, &error));
     EXPECT_EQ(error, "sweep counter outside the annealing schedule");
+}
+
+TEST(SolverCheckpointFormat, RejectsShortScanOrder)
+{
+    // A short scan order would make the resumed Fisher-Yates shuffle
+    // write past the end of the restored vector.
+    mrf::SolverCheckpoint cp = sampleCheckpoint();
+    cp.scanOrder.resize(cp.scanOrder.size() - 1);
+    mrf::SolverCheckpoint back;
+    std::string error;
+    EXPECT_FALSE(mrf::SolverCheckpoint::deserialize(cp.serialize(),
+                                                    &back, &error));
+    EXPECT_EQ(error, "scan-order length disagrees with dimensions");
+}
+
+TEST(SolverCheckpointFormat, RejectsScanOrderEntryOutOfRange)
+{
+    // Entries are used as pixel indices; out-of-range ones would read
+    // outside the label map.
+    mrf::SolverCheckpoint cp = sampleCheckpoint();
+    cp.scanOrder[3] = static_cast<std::uint32_t>(cp.width * cp.height);
+    mrf::SolverCheckpoint back;
+    std::string error;
+    EXPECT_FALSE(mrf::SolverCheckpoint::deserialize(cp.serialize(),
+                                                    &back, &error));
+    EXPECT_EQ(error, "scan-order entry out of range");
+}
+
+TEST(SolverCheckpointFormat, AcceptsEmptyScanOrder)
+{
+    // Raster-scan snapshots carry no scan order at all.
+    mrf::SolverCheckpoint cp = sampleCheckpoint();
+    cp.scanOrder.clear();
+    mrf::SolverCheckpoint back;
+    std::string error;
+    EXPECT_TRUE(mrf::SolverCheckpoint::deserialize(cp.serialize(),
+                                                   &back, &error))
+        << error;
+    EXPECT_TRUE(back.scanOrder.empty());
 }
 
 // ------------------------------------------------------------------

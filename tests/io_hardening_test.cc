@@ -65,6 +65,22 @@ TEST(PgmHardening, Reads16BitFileWithCommentAndScalesDown)
     EXPECT_EQ(image(1, 1), 255);
 }
 
+TEST(PgmHardening, Reads8BitLowMaxvalAndScalesUp)
+{
+    img::ImageU8 image;
+    std::string error;
+    ASSERT_TRUE(img::tryReadPgm(dataPath("low_maxval_8bit.pgm"),
+                                &image, &error))
+        << error;
+    EXPECT_EQ(image.width(), 3);
+    EXPECT_EQ(image.height(), 1);
+    // Samples 0, 50, 100 over maxval 100, rounded into [0, 255] —
+    // the same contract the 16-bit path applies.
+    EXPECT_EQ(image(0, 0), 0);
+    EXPECT_EQ(image(1, 0), 128);
+    EXPECT_EQ(image(2, 0), 255);
+}
+
 // ------------------------------------------------------------------
 // PGM reader: the malformed corpus
 
@@ -105,7 +121,8 @@ INSTANTIATE_TEST_SUITE_P(
         BadPgm{"maxval_huge.pgm", "outside [1, 65535]"},
         BadPgm{"truncated_payload.pgm", "truncated payload"},
         BadPgm{"truncated_16bit.pgm", "truncated 16-bit payload"},
-        BadPgm{"sample_over_maxval.pgm", "exceeds maxval"}),
+        BadPgm{"sample_over_maxval.pgm", "exceeds maxval"},
+        BadPgm{"sample_over_low_maxval.pgm", "exceeds maxval"}),
     [](const ::testing::TestParamInfo<BadPgm> &info) {
         std::string name = info.param.file;
         return name.substr(0, name.find('.'));
