@@ -22,6 +22,7 @@
 #include "apps/stereo.hh"
 #include "bench_common.hh"
 #include "core/energy_to_lambda.hh"
+#include "core/race_fastpath.hh"
 #include "core/sampler_cdf.hh"
 #include "core/ttf_race.hh"
 #include "img/image.hh"
@@ -187,6 +188,103 @@ timeKernel(const bench::SamplerFactory &factory, const PlaneSet &set,
         scalar_best * 1e9 / static_cast<double>(samples);
     result.batchedNsPerSample =
         batched_best * 1e9 / static_cast<double>(samples);
+    result.outputsMatch = scalar_labels == batched_labels;
+    return result;
+}
+
+/** Fast-path (alias-table categorical race) timing for one RSU
+ *  sampler over the same planes, including the build-amortization
+ *  story: the cold pass starts from an empty RaceTableCache and
+ *  therefore bills every alias-table construction; the steady pass
+ *  reuses the process-wide cache like a long annealing run does. */
+struct FastTiming
+{
+    double fastNsPerSample = 0.0; ///< steady state, tables cached
+    double coldNsPerSample = 0.0; ///< first pass, tables built inline
+    std::size_t aliasTables = 0;  ///< distinct tables this workload needs
+    bool outputsMatch = true;     ///< scalar == batched in fastpath mode
+};
+
+FastTiming
+timeFastPath(const bench::SamplerFactory &factory, const PlaneSet &set,
+             const std::vector<double> &temps, int reps,
+             std::uint64_t seed)
+{
+    const std::size_t m = static_cast<std::size_t>(set.m);
+    const std::size_t samples = set.totalPixels * temps.size();
+    auto scalar_pass = [&](mrf::LabelSampler &s, rng::Rng &gen,
+                           std::vector<int> *record) {
+        for (double t : temps)
+            for (std::size_t r = 0; r < set.energies.size(); ++r) {
+                const std::vector<float> &plane = set.energies[r];
+                const std::vector<int> &cur = set.current[r];
+                for (std::size_t p = 0; p < cur.size(); ++p) {
+                    int chosen = s.sample(
+                        std::span<const float>(plane.data() + p * m,
+                                               m),
+                        t, cur[p], gen);
+                    if (record)
+                        record->push_back(chosen);
+                }
+            }
+    };
+    auto batched_pass = [&](mrf::LabelSampler &s, rng::Rng &gen,
+                            std::vector<int> *record) {
+        std::vector<int> out;
+        for (double t : temps)
+            for (std::size_t r = 0; r < set.energies.size(); ++r) {
+                const std::vector<int> &cur = set.current[r];
+                out.resize(cur.size());
+                s.sampleRow(set.energies[r], set.m, t, cur, out, gen);
+                if (record)
+                    record->insert(record->end(), out.begin(),
+                                   out.end());
+            }
+    };
+
+    FastTiming result;
+    core::RaceTableCache &cache = core::RaceTableCache::global();
+
+    // Cold pass: empty cache, fresh sampler — every alias table this
+    // workload touches is built inside the timed region.
+    {
+        cache.clear();
+        auto sampler = factory();
+        rng::Xoshiro256 gen(seed);
+        auto start = std::chrono::steady_clock::now();
+        batched_pass(*sampler, gen, nullptr);
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        result.coldNsPerSample =
+            dt.count() * 1e9 / static_cast<double>(samples);
+        result.aliasTables = cache.size();
+    }
+
+    std::vector<int> scalar_labels, batched_labels;
+    double fast_best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        auto sampler = factory();
+        rng::Xoshiro256 warm(seed);
+        batched_pass(*sampler, warm, nullptr); // warm-up, untimed
+        rng::Xoshiro256 gen(seed);
+        std::vector<int> *rec = rep == 0 ? &batched_labels : nullptr;
+        auto start = std::chrono::steady_clock::now();
+        batched_pass(*sampler, gen, rec);
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start;
+        fast_best = std::min(fast_best, dt.count());
+    }
+    result.fastNsPerSample =
+        fast_best * 1e9 / static_cast<double>(samples);
+
+    // Fixed draws per pixel keep the fast path's scalar and batched
+    // entries on one RNG layout, so their labels must agree exactly.
+    {
+        auto sampler = factory();
+        rng::Xoshiro256 gen(seed);
+        scalar_labels.reserve(samples);
+        scalar_pass(*sampler, gen, &scalar_labels);
+    }
     result.outputsMatch = scalar_labels == batched_labels;
     return result;
 }
@@ -358,30 +456,38 @@ main(int argc, char **argv)
         const char *name;
         bench::SamplerFactory factory;
         const std::vector<double> *schedule;
+        /** Same sampler with raceMode=FastPath; empty when the
+         *  sampler has no categorical fast path. */
+        bench::SamplerFactory fastFactory;
     };
+    auto fastCfg = [](core::RsuConfig cfg) {
+        cfg.raceMode = core::RaceMode::FastPath;
+        return cfg;
+    };
+    core::RsuConfig first_tie_cfg = core::RsuConfig::newDesign();
+    first_tie_cfg.tieBreak = core::TieBreak::First;
     Entry entries[] = {
-        {"software-float", bench::softwareFactory(), &schedule},
+        {"software-float", bench::softwareFactory(), &schedule, {}},
         {"cdf-lut(mt19937)",
          [] {
              return std::make_unique<core::CdfLutSampler>(
                  std::make_unique<rng::Mt19937>(42), 64);
          },
-         &schedule},
+         &schedule,
+         {}},
         {"rsu-new-design",
-         bench::rsuFactory(core::RsuConfig::newDesign()), &schedule},
+         bench::rsuFactory(core::RsuConfig::newDesign()), &schedule,
+         bench::rsuFactory(fastCfg(core::RsuConfig::newDesign()))},
         {"rsu-new-design@anneal-tail",
          bench::rsuFactory(core::RsuConfig::newDesign()),
-         &tail_schedule},
+         &tail_schedule,
+         bench::rsuFactory(fastCfg(core::RsuConfig::newDesign()))},
+        // Fixed-priority tie arbiter (the cheap hardware choice): no
+        // tie draws, so the race consumes exactly one draw per firing
+        // label — the cheapest batched race mode.
         {"rsu-new-design-priority-tie",
-         [] {
-             // Fixed-priority tie arbiter (the cheap hardware choice):
-             // no tie draws, so the race consumes exactly one draw per
-             // firing label — the cheapest batched race mode.
-             core::RsuConfig cfg = core::RsuConfig::newDesign();
-             cfg.tieBreak = core::TieBreak::First;
-             return std::make_unique<core::RsuSampler>(cfg);
-         },
-         &schedule},
+         bench::rsuFactory(first_tie_cfg), &schedule,
+         bench::rsuFactory(fastCfg(first_tie_cfg))},
     };
 
     std::FILE *f = std::fopen(out.c_str(), "w");
@@ -394,9 +500,12 @@ main(int argc, char **argv)
                  "  \"grid\": [%d, %d],\n  \"labels\": %d,\n"
                  "  \"temperatures\": %d,\n  \"reps\": %d,\n"
                  "  \"seed\": %llu,\n  \"hardware_threads\": %d,\n"
+                 "  \"race_batch_pixels\": %zu,\n"
                  "  \"samplers\": [",
                  backend, size, size, labels, temps, reps,
-                 static_cast<unsigned long long>(seed), hw);
+                 static_cast<unsigned long long>(seed), hw,
+                 core::raceBatchPixels(
+                     static_cast<std::size_t>(labels)));
 
     bool first = true;
     bool all_match = true;
@@ -414,11 +523,34 @@ main(int argc, char **argv)
                      "\"t0\": %g, \"t_end\": %g, "
                      "\"scalar_ns_per_sample\": %.2f, "
                      "\"batched_ns_per_sample\": %.2f, "
-                     "\"speedup\": %.3f, \"outputs_match\": %s}",
+                     "\"speedup\": %.3f, \"outputs_match\": %s",
                      first ? "" : ",", e.name, e.schedule->front(),
                      e.schedule->back(), t.scalarNsPerSample,
                      t.batchedNsPerSample, speedup,
                      t.outputsMatch ? "true" : "false");
+        if (e.fastFactory) {
+            FastTiming ft = timeFastPath(e.fastFactory, planes,
+                                         *e.schedule, reps, seed);
+            all_match = all_match && ft.outputsMatch;
+            std::printf("  %-27s fastpath %6.1f ns/sample   cold "
+                        "%8.1f ns/sample   %zu tables   %.2fx vs "
+                        "race%s\n",
+                        "  \\- race_mode=fastpath", ft.fastNsPerSample,
+                        ft.coldNsPerSample, ft.aliasTables,
+                        t.batchedNsPerSample / ft.fastNsPerSample,
+                        ft.outputsMatch ? "" : "  MISMATCH");
+            std::fprintf(f,
+                         ", \"fastpath_ns_per_sample\": %.2f, "
+                         "\"fastpath_cold_ns_per_sample\": %.2f, "
+                         "\"fastpath_alias_tables\": %zu, "
+                         "\"fastpath_speedup_vs_scalar\": %.3f, "
+                         "\"fastpath_outputs_match\": %s",
+                         ft.fastNsPerSample, ft.coldNsPerSample,
+                         ft.aliasTables,
+                         t.scalarNsPerSample / ft.fastNsPerSample,
+                         ft.outputsMatch ? "true" : "false");
+        }
+        std::fprintf(f, "}");
         first = false;
     }
     KernelBreakdown bd = timeBreakdown(problem, planes,

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "apps/denoising.hh"
+#include "core/race_cli.hh"
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
 #include "img/pgm_io.hh"
@@ -68,7 +69,9 @@ main(int argc, char **argv)
 
     auto solver = apps::defaultDenoisingSolver(sweeps, 42);
     core::SoftwareSampler sw;
-    core::RsuSampler rsu(core::RsuConfig::newDesign());
+    core::RsuConfig rsu_cfg = core::RsuConfig::newDesign();
+    rsu_cfg.raceMode = core::raceModeFromCli(args);
+    core::RsuSampler rsu(rsu_cfg);
 
     auto cfg_sw = solver;
     mrf::checkpointFromCli(args, &cfg_sw, "software");

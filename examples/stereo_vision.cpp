@@ -19,6 +19,7 @@
 #include <string>
 
 #include "apps/stereo.hh"
+#include "core/race_cli.hh"
 #include "core/sampler_rsu.hh"
 #include "core/sampler_software.hh"
 #include "img/dataset_io.hh"
@@ -83,8 +84,11 @@ main(int argc, char **argv)
         const char *ckpt; ///< snapshot-path suffix, one per variant
     };
     core::SoftwareSampler sw;
-    core::RsuSampler prev(core::RsuConfig::previousDesign());
-    core::RsuSampler next(core::RsuConfig::newDesign());
+    core::RsuConfig prev_cfg = core::RsuConfig::previousDesign();
+    core::RsuConfig next_cfg = core::RsuConfig::newDesign();
+    prev_cfg.raceMode = next_cfg.raceMode = core::raceModeFromCli(args);
+    core::RsuSampler prev(prev_cfg);
+    core::RsuSampler next(next_cfg);
     mrf::LabelSampler *samplers[] = {&sw, &prev, &next};
     const Variant variants[] = {
         {"software-only", "_software.pgm", "software"},

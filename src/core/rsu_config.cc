@@ -49,6 +49,20 @@ toString(TieBreak v)
     return "unknown";
 }
 
+std::string
+toString(RaceMode v)
+{
+    switch (v) {
+      case RaceMode::Race:
+        return "race";
+      case RaceMode::FastPath:
+        return "fastpath";
+      case RaceMode::Auto:
+        return "auto";
+    }
+    return "unknown";
+}
+
 double
 RsuConfig::lambda0() const
 {
@@ -103,7 +117,13 @@ RsuConfig::describe() const
         << (decayRateScaling ? ",scaled" : "")
         << (probabilityCutoff ? ",cutoff" : "")
         << ",T=" << timeBits << '/' << tq(timeQuant)
-        << ",trunc=" << truncation << '}';
+        << ",trunc=" << truncation
+        // Only a non-default race mode is part of the name: existing
+        // sampler names (telemetry keys, report rows) stay stable.
+        << (raceMode == RaceMode::Race
+                ? std::string()
+                : "," + retsim::core::toString(raceMode))
+        << '}';
     return oss.str();
 }
 
@@ -129,7 +149,8 @@ RsuConfig::toString() const
         << " truncation_policy="
         << (truncationPolicy == TruncationPolicy::InfiniteTtf
                 ? "infinite"
-                : "clamp");
+                : "clamp")
+        << " race_mode=" << retsim::core::toString(raceMode);
     return oss.str();
 }
 
@@ -218,6 +239,15 @@ RsuConfig::fromString(const std::string &text)
             else
                 RETSIM_FATAL("unknown truncation_policy '", value,
                              "'");
+        } else if (key == "race_mode") {
+            if (value == "race")
+                cfg.raceMode = RaceMode::Race;
+            else if (value == "fastpath")
+                cfg.raceMode = RaceMode::FastPath;
+            else if (value == "auto")
+                cfg.raceMode = RaceMode::Auto;
+            else
+                RETSIM_FATAL("unknown race_mode '", value, "'");
         } else {
             RETSIM_FATAL("unknown config key '", key, "'");
         }

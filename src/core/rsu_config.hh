@@ -68,9 +68,31 @@ enum class TruncationPolicy
     ClampToLastBin, ///< truncated sample lands in bin t_max
 };
 
+/**
+ * How the sampler realizes the first-to-fire selection.
+ *
+ * The min-of-exponentials race realizes exactly a categorical
+ * distribution over the labels (continuous time: P(i) = rate_i /
+ * sum(rate); binned time: the joint winner/tie/no-fire pmf is a
+ * closed-form function of the rate vector), so wherever the
+ * cycle-accurate timing behavior is not itself under study the race
+ * can be replaced by a single categorical draw from a precomputed
+ * table — the RaceFastPath layer (race_fastpath.hh).
+ */
+enum class RaceMode
+{
+    Race,     ///< literal cycle-accurate race (the reference)
+    FastPath, ///< alias-table/CDF categorical draw (fatal if the
+              ///< config is unsupported — see RaceFastPath::supported)
+    Auto,     ///< fastpath when the race mode draws nothing but the
+              ///< per-label exponentials and the rates are tabulable;
+              ///< otherwise the literal race
+};
+
 std::string toString(LambdaQuant v);
 std::string toString(TimeQuant v);
 std::string toString(TieBreak v);
+std::string toString(RaceMode v);
 
 struct RsuConfig
 {
@@ -100,6 +122,13 @@ struct RsuConfig
      *  degradation (see bench_fig8 and bench_ablation). */
     TieBreak tieBreak = TieBreak::Random;
     TruncationPolicy truncationPolicy = TruncationPolicy::InfiniteTtf;
+
+    /** First-to-fire selection implementation.  Race (the default)
+     *  preserves the literal per-label exponential draws and their
+     *  byte-exact reproducibility contracts; FastPath/Auto substitute
+     *  the distribution-equivalent categorical draw (a different but
+     *  identically distributed random stream). */
+    RaceMode raceMode = RaceMode::Race;
 
     // -- derived quantities -------------------------------------------
     /** Observation window length in time bins. */

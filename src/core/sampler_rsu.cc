@@ -15,6 +15,9 @@ namespace core {
 RsuSampler::RsuSampler(const RsuConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
+    useFastPath_ = RaceFastPath::resolve(cfg_);
+    if (useFastPath_)
+        fast_ = std::make_unique<RaceFastPath>(cfg_);
 }
 
 std::string
@@ -124,6 +127,109 @@ RsuSampler::refreshRateTable(double temperature)
         [](double r) { return r > 0.0; });
 }
 
+void
+RsuSampler::bindFastPath()
+{
+    // The alphabet only depends on rateTable_, which only changes
+    // with rateTableTemperature_; the fast path's table memo itself
+    // survives rebinds (its keys are canonical rate vectors, shared
+    // across temperatures).
+    if (fastBoundTemperature_ == rateTableTemperature_)
+        return;
+    fast_->bindRateTable(rateTable_);
+    fastBoundTemperature_ = rateTableTemperature_;
+}
+
+int
+RsuSampler::commitOutcome(const RaceOutcome &oc, int current)
+{
+    if (oc.winner < 0) {
+        // Every label was truncated or cut off; the unit produces no
+        // sample and the variable keeps its current label.
+        ++noSampleEvents_;
+        return current;
+    }
+    if (oc.tie)
+        ++tieEvents_;
+    return oc.winner;
+}
+
+int
+RsuSampler::sampleFast(std::span<const float> energies,
+                       double temperature, int current, rng::Rng &gen)
+{
+    const std::size_t m = energies.size();
+    if (cfg_.timeQuant == TimeQuant::Binned) {
+        // Table-driven: stages 1-5 collapse to one quantization pass
+        // and a categorical draw — no per-label rates, exponentials
+        // or argmin.  RaceFastPath::supported() guarantees quantized
+        // energies and a non-float lambda here, so rateTable_ exists.
+        refreshRateTable(temperature);
+        bindFastPath();
+        quant_.resize(m);
+        const double top =
+            static_cast<double>(util::maxUnsigned(cfg_.energyBits));
+        const double e_min = simd::kernels().quantizeEnergies(
+            energies.data(), top, quant_.data(), m);
+        double u[4];
+        const unsigned draws = fast_->drawsPerPixel();
+        for (unsigned k = 0; k < draws; ++k)
+            u[k] = gen.nextDouble();
+        return commitOutcome(
+            fast_->raceBinned(quant_.data(),
+                              cfg_.decayRateScaling ? e_min : 0.0, m,
+                              u),
+            current);
+    }
+    // Float time: the rates are computed exactly as the literal path
+    // computes them (shared stage 1-3 code in sample()); one uniform
+    // inverts the categorical CDF over them.
+    return commitOutcome(
+        RaceFastPath::raceFloat(rates_.data(), m, gen.nextDouble()),
+        current);
+}
+
+void
+RsuSampler::sampleRowFast(std::span<const float> energies,
+                          std::size_t n, std::size_t m,
+                          double temperature,
+                          std::span<const int> current,
+                          std::span<int> out, rng::Rng &gen)
+{
+    // Fixed draws per pixel make the whole row bulk-fillable, which
+    // is what keeps this bit-identical to the scalar loop (fillUniform
+    // == that many sequential nextDouble() calls) and lets checkpoint
+    // replay cut a row anywhere.
+    const unsigned draws = fast_->drawsPerPixel();
+    fastU_.resize(n * draws);
+    gen.fillUniform(fastU_);
+    if (cfg_.timeQuant == TimeQuant::Binned) {
+        refreshRateTable(temperature);
+        bindFastPath();
+        // Fused row race: quantize + classify + draw straight off the
+        // float plane — identical arithmetic to per-pixel raceBinned()
+        // calls on quantizeEnergies output, but no quantized plane is
+        // ever materialized and the memo lookups overlap across
+        // pixels (see raceEnergiesRow).
+        const double top =
+            static_cast<double>(util::maxUnsigned(cfg_.energyBits));
+        outcomes_.resize(n);
+        fast_->raceEnergiesRow(energies.data(), top,
+                               cfg_.decayRateScaling, n, m,
+                               fastU_.data(), outcomes_.data());
+        for (std::size_t p = 0; p < n; ++p)
+            out[p] = commitOutcome(outcomes_[p], current[p]);
+        return;
+    }
+    // Float time: rates_ already holds the row's rate plane (filled
+    // by sampleRow's shared stage 1-3 code before dispatching here).
+    for (std::size_t p = 0; p < n; ++p)
+        out[p] = commitOutcome(
+            RaceFastPath::raceFloat(rates_.data() + p * m, m,
+                                    fastU_[p]),
+            current[p]);
+}
+
 int
 RsuSampler::sample(std::span<const float> energies, double temperature,
                    int current, rng::Rng &gen)
@@ -133,6 +239,9 @@ RsuSampler::sample(std::span<const float> energies, double temperature,
     ++totalSamples_;
 
     refreshConversion(temperature);
+
+    if (useFastPath_ && cfg_.timeQuant == TimeQuant::Binned)
+        return sampleFast(energies, temperature, current, gen);
     bool use_lut = cfg_.lambdaQuant != LambdaQuant::Float &&
                    !cfg_.floatEnergy;
 
@@ -179,17 +288,11 @@ RsuSampler::sample(std::span<const float> energies, double temperature,
         }
     }
 
+    if (useFastPath_) // float time: categorical draw over rates_
+        return sampleFast(energies, temperature, current, gen);
+
     // Stages 4-5: sample the exponentials and select first-to-fire.
-    RaceOutcome outcome = runTtfRace(rates_, cfg_, gen);
-    if (outcome.winner < 0) {
-        // Every label was truncated or cut off; the unit produces no
-        // sample and the variable keeps its current label.
-        ++noSampleEvents_;
-        return current;
-    }
-    if (outcome.tie)
-        ++tieEvents_;
-    return outcome.winner;
+    return commitOutcome(runTtfRace(rates_, cfg_, gen), current);
 }
 
 void
@@ -208,6 +311,13 @@ RsuSampler::sampleRow(std::span<const float> energies, int numLabels,
     totalSamples_ += n;
 
     refreshConversion(temperature);
+
+    if (useFastPath_ && cfg_.timeQuant == TimeQuant::Binned) {
+        // Table-driven row: no rate plane, no exponentials.
+        sampleRowFast(energies, n, m, temperature, current, out, gen);
+        return;
+    }
+
     const double lambda0 = cfg_.lambda0();
 
     rates_.resize(n * m);
@@ -231,6 +341,11 @@ RsuSampler::sampleRow(std::span<const float> energies, int numLabels,
             kern.quantizeGatherRates(e, top, cfg_.decayRateScaling,
                                      table, rates_.data() + p * m,
                                      m);
+        }
+        if (useFastPath_) { // float time over the quantized rates
+            sampleRowFast(energies, n, m, temperature, current, out,
+                          gen);
+            return;
         }
         outcomes_.resize(n);
         runTtfRaceRow(rates_, m, cfg_, gen, outcomes_, raceScratch_,
@@ -263,21 +378,17 @@ RsuSampler::sampleRow(std::span<const float> energies, int numLabels,
                            lambda0;
             }
         }
+        if (useFastPath_) { // float time over the replicated rates
+            sampleRowFast(energies, n, m, temperature, current, out,
+                          gen);
+            return;
+        }
         outcomes_.resize(n);
         runTtfRaceRow(rates_, m, cfg_, gen, outcomes_, raceScratch_);
     }
 
-    for (std::size_t p = 0; p < n; ++p) {
-        const RaceOutcome &oc = outcomes_[p];
-        if (oc.winner < 0) {
-            ++noSampleEvents_;
-            out[p] = current[p];
-            continue;
-        }
-        if (oc.tie)
-            ++tieEvents_;
-        out[p] = oc.winner;
-    }
+    for (std::size_t p = 0; p < n; ++p)
+        out[p] = commitOutcome(outcomes_[p], current[p]);
 }
 
 } // namespace core

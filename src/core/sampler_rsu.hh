@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/energy_to_lambda.hh"
+#include "core/race_fastpath.hh"
 #include "core/rsu_config.hh"
 #include "core/ttf_race.hh"
 #include "mrf/sampler.hh"
@@ -88,6 +89,10 @@ class RsuSampler : public mrf::LabelSampler
 
     const RsuConfig &config() const { return cfg_; }
 
+    /** Whether cfg_.raceMode resolved to the categorical fast path
+     *  (RaceFastPath::resolve); fixed at construction. */
+    bool usingFastPath() const { return useFastPath_; }
+
     // ---- instrumentation ---------------------------------------------
     /** Pixel evaluations where no label fired (current label kept). */
     std::uint64_t noSampleEvents() const { return noSampleEvents_; }
@@ -113,6 +118,25 @@ class RsuSampler : public mrf::LabelSampler
      *  quantized (the index domain is then 2^Energy_bits). */
     void refreshRateTable(double temperature);
 
+    /** Point the fast path's rate alphabet at the current rateTable_
+     *  (no-op while the bound temperature is unchanged). */
+    void bindFastPath();
+
+    /** Counter bookkeeping shared by every race flavor: bump
+     *  no-sample/tie counters and map "no label fired" to the kept
+     *  current label. */
+    int commitOutcome(const RaceOutcome &oc, int current);
+
+    /** Fast-path twins of sample()/sampleRow() (binned: table draw
+     *  over the quantized energies; float time: CDF inversion over
+     *  the literal rate plane). */
+    int sampleFast(std::span<const float> energies, double temperature,
+                   int current, rng::Rng &gen);
+    void sampleRowFast(std::span<const float> energies, std::size_t n,
+                       std::size_t m, double temperature,
+                       std::span<const int> current, std::span<int> out,
+                       rng::Rng &gen);
+
     RsuConfig cfg_;
     double cachedTemperature_ = -1.0;
     std::shared_ptr<const LambdaLut> lut_;
@@ -124,6 +148,13 @@ class RsuSampler : public mrf::LabelSampler
     bool rateTableAllPositive_ = false;  ///< no reachable rate is zero
     std::vector<RaceOutcome> outcomes_;
     RaceRowScratch raceScratch_;
+
+    // ---- categorical fast path (raceMode != Race) --------------------
+    bool useFastPath_ = false;
+    std::unique_ptr<RaceFastPath> fast_;
+    double fastBoundTemperature_ = -1.0;
+    std::vector<double> quant_; ///< quantized-energy scratch
+    std::vector<double> fastU_; ///< bulk uniform scratch (row path)
 
     std::uint64_t noSampleEvents_ = 0;
     std::uint64_t tieEvents_ = 0;

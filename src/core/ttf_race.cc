@@ -1,5 +1,8 @@
 #include "core/ttf_race.hh"
 
+#include <algorithm>
+#include <limits>
+
 #include "rng/distributions.hh"
 #include "simd/kernels.hh"
 #include "util/logging.hh"
@@ -67,6 +70,42 @@ drawTtfs(rng::Rng &gen, std::span<const double> firing_rates,
 }
 
 /**
+ * Scalar min-scan over a pixel's precomputed bins: the same strict
+ * running-minimum bookkeeping as the expDrawBin reduction, so the
+ * result is field-for-field identical (every quantity is an exact
+ * small integer).  Used by the bulk row path, whose bins were
+ * quantized plane-wide by ttfBins.
+ */
+simd::BinRaceResult
+reduceBins(const double *bins, std::size_t n)
+{
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    simd::BinRaceResult r;
+    double best = kInf;
+    std::uint32_t first = 0, last = 0, tied = 0, fin = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double bin = bins[i];
+        fin += bin < kInf ? 1u : 0u;
+        if (bin < best) {
+            best = bin;
+            tied = 1;
+            first = last = static_cast<std::uint32_t>(i);
+        } else if (bin == best) {
+            ++tied;
+            last = static_cast<std::uint32_t>(i);
+        }
+    }
+    r.bestBin = best;
+    if (!(best < kInf))
+        return r; // nothing fired inside the window
+    r.first = first;
+    r.last = last;
+    r.tied = tied;
+    r.contenders = fin;
+    return r;
+}
+
+/**
  * Selection scan of one pixel fed from the draw buffer (TTFs in
  * float mode, raw uniforms in binned mode — see drawTtfs), with
  * @p next walking the compacted firing-label order shared by the
@@ -82,6 +121,12 @@ drawTtfs(rng::Rng &gen, std::span<const double> firing_rates,
  * gen.nextBounded(tied) among the labels tied at that minimum —
  * AFTER the pixel's TTF uniforms, so the pixel's draw layout is:
  * firing TTF uniforms in label order, then at most one tie draw.
+ *
+ * @p pre_bins, when non-null, points at plane-wide bins already
+ * quantized by the bulk ttfBins pass (indexed by the same @p next
+ * cursor as the draws); the binned reduction is then the scalar
+ * reduceBins() scan instead of the fused per-pixel expDrawBin call —
+ * bit-identical outcomes either way.
  */
 template <bool AllFire>
 RaceOutcome
@@ -89,7 +134,8 @@ selectFromTtfs(std::span<const double> rates,
                std::span<const double> firing_rates,
                std::span<const double> draws, std::size_t &next,
                const RsuConfig &cfg, rng::Rng &gen,
-               std::vector<double> &bin_scratch)
+               std::vector<double> &bin_scratch,
+               const double *pre_bins = nullptr)
 {
     RaceOutcome out;
     if (cfg.timeQuant == TimeQuant::Float) {
@@ -133,12 +179,20 @@ selectFromTtfs(std::span<const double> rates,
     }
     if (firing == 0)
         return out;
-    bin_scratch.resize(firing);
-    double *bins = bin_scratch.data();
-    const simd::BinRaceResult br = simd::kernels().expDrawBin(
-        draws.data() + next, firing_rates.data() + next, firing,
-        static_cast<double>(cfg.tMaxBins()),
-        cfg.truncationPolicy == TruncationPolicy::InfiniteTtf, bins);
+    const double *bins;
+    simd::BinRaceResult br;
+    if (pre_bins) {
+        bins = pre_bins + next;
+        br = reduceBins(bins, firing);
+    } else {
+        bin_scratch.resize(firing);
+        double *b = bin_scratch.data();
+        br = simd::kernels().expDrawBin(
+            draws.data() + next, firing_rates.data() + next, firing,
+            static_cast<double>(cfg.tMaxBins()),
+            cfg.truncationPolicy == TruncationPolicy::InfiniteTtf, b);
+        bins = b;
+    }
     next += firing;
     if (br.contenders == 0)
         return out;
@@ -279,19 +333,42 @@ runTtfRaceRow(std::span<const double> rates, std::size_t m,
         compactFiring(rates, scratch.rates, allFireHint);
     drawTtfs(gen, firing_rates, cfg, scratch);
 
+    // Binned deterministic-draw mode: quantize the whole plane's bins
+    // up front through long ttfBins dispatches (kRaceBatchElements
+    // per call — many pixels per burst instead of one), leaving each
+    // pixel's selection a scalar min-scan.  Bit-identical to the
+    // per-pixel fused kernel: the vecmath cores are lane-invariant,
+    // so the bins match, and reduceBins replicates the reduction.
+    const double *plane_bins = nullptr;
+    if (cfg.timeQuant == TimeQuant::Binned) {
+        const std::size_t total = scratch.t.size();
+        scratch.bins.resize(total);
+        const simd::KernelTable &kern = simd::kernels();
+        const double t_max = static_cast<double>(cfg.tMaxBins());
+        const bool drop =
+            cfg.truncationPolicy == TruncationPolicy::InfiniteTtf;
+        for (std::size_t off = 0; off < total;
+             off += kRaceBatchElements)
+            kern.ttfBins(scratch.t.data() + off,
+                         firing_rates.data() + off,
+                         std::min(kRaceBatchElements, total - off),
+                         t_max, drop, scratch.bins.data() + off);
+        plane_bins = scratch.bins.data();
+    }
+
     std::size_t next = 0;
     if (firing_rates.size() == rates.size()) {
         for (std::size_t i = 0; i < count; ++i)
             out[i] = selectFromTtfs<true>(rates.subspan(i * m, m),
                                           firing_rates, scratch.t,
                                           next, cfg, gen,
-                                          scratch.bins);
+                                          scratch.bins, plane_bins);
     } else {
         for (std::size_t i = 0; i < count; ++i)
             out[i] = selectFromTtfs<false>(rates.subspan(i * m, m),
                                            firing_rates, scratch.t,
                                            next, cfg, gen,
-                                           scratch.bins);
+                                           scratch.bins, plane_bins);
     }
     RETSIM_ASSERT(next == scratch.t.size(),
                   "row race consumed ", next, " of ",

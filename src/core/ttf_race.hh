@@ -45,6 +45,22 @@ struct RaceRowScratch
     std::vector<double> bins;  ///< per-label quantized bins (binned mode)
 };
 
+/** Elements per ttfBins dispatch in the bulk binned row race.  The
+ *  deterministic-draw row path batches the whole plane's draw +
+ *  bin-quantize through dispatches of this length — long bursts keep
+ *  wide (AVX-512) vector units warm where the old per-pixel
+ *  expDrawBin bursts of m elements left them cold — while the three
+ *  staged buffers (uniforms, rates, bins) stay L1-resident. */
+constexpr std::size_t kRaceBatchElements = 4096;
+
+/** Nominal pixels whose draws share one dispatch at @p m labels per
+ *  pixel (recorded in the bench JSON as race_batch_pixels). */
+constexpr std::size_t
+raceBatchPixels(std::size_t m)
+{
+    return kRaceBatchElements / m > 0 ? kRaceBatchElements / m : 1;
+}
+
 /**
  * Run one race over per-label absolute decay rates (per time bin);
  * rate <= 0 means the label is cut off and never fires.

@@ -97,6 +97,17 @@ struct KernelTable
     BinRaceResult (*expDrawBin)(const double *u, const double *rates,
                                 std::size_t n, double t_max,
                                 bool drop_truncated, double *bins);
+    /** Elementwise half of expDrawBin: draw and bin-quantize without
+     *  the per-pixel reduction, so many pixels' draws batch through
+     *  one dispatch (long bursts keep wide vector units warm — the
+     *  per-pixel expDrawBin bursts are what left AVX-512 cold).
+     *  bins[i] is bit-identical to expDrawBin's in-place bins output
+     *  for the same inputs; a scalar min-scan over a pixel's slice
+     *  therefore reproduces its BinRaceResult exactly.  In-place
+     *  (u == bins) is supported. */
+    void (*ttfBins)(const double *u, const double *rates,
+                    std::size_t n, double t_max, bool drop_truncated,
+                    double *bins);
     /** out[i] = table[(size_t)(q[i] - e_min)]: the energy-to-rate
      *  table stage.  Every q[i] - e_min must be an exact non-negative
      *  integer below 2^32 indexing into table.  In-place (q == out)
@@ -112,6 +123,22 @@ struct KernelTable
                                 bool subtract_min,
                                 const double *table, double *rates,
                                 std::size_t n);
+    /** Fused quantizeEnergies + race-class pack for the categorical
+     *  fast path over a row of pixels (pixel p's m <= 16 label
+     *  energies at e + p*m): quantize exactly like quantizeEnergies,
+     *  index cls[] with q - (subtract_min ? pixel minimum : 0), and
+     *  pack per pixel the packed-lane words — out[3p] (class c's
+     *  label count in byte c) and out[3p+1]/out[3p+2] (label i's
+     *  class in byte i; labels 8.. in the second word).  One
+     *  dispatch per row keeps the vector constants live across
+     *  pixels.  cls values must be < 8, and the table must stay
+     *  readable 4 bytes past the largest reachable index (vector
+     *  backends gather 32-bit words). */
+    void (*quantizeClassifyRow)(const float *e, double top,
+                                bool subtract_min,
+                                const std::uint8_t *cls,
+                                std::size_t n, std::size_t m,
+                                std::uint64_t *out);
 };
 
 /** The kernel table for the active backend (resolved on first use). */

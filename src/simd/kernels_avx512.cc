@@ -68,6 +68,13 @@ expDrawBin(const double *u, const double *rates, std::size_t n,
                                       drop_truncated, bins);
 }
 
+void
+ttfBins(const double *u, const double *rates, std::size_t n,
+        double t_max, bool drop_truncated, double *bins)
+{
+    detail::ttfBinsT<VAvx512>(u, rates, n, t_max, drop_truncated, bins);
+}
+
 
 void
 gatherRates(const double *q, double e_min, const double *table,
@@ -85,6 +92,28 @@ quantizeGatherRates(const float *e, double top, bool subtract_min,
                                         rates, n);
 }
 
+
+void
+quantizeClassifyRow(const float *e, double top, bool subtract_min,
+                    const std::uint8_t *cls, std::size_t n,
+                    std::size_t m, std::uint64_t *out)
+{
+    if (m == 16 && top < 16777216.0) {
+        // The intrinsic core handles full-width pixels; top < 2^24
+        // keeps the float-domain clamp bound exact.
+        for (std::size_t p = 0; p < n; ++p)
+            detail::quantizeClassify16Avx2(
+                e + p * 16, top, subtract_min, cls, out[3 * p],
+                out[3 * p + 1], out[3 * p + 2]);
+        return;
+    }
+    for (std::size_t p = 0; p < n; ++p)
+        detail::quantizeClassifyT<VAvx512>(e + p * m, top, subtract_min,
+                                      cls, m, out[3 * p],
+                                      out[3 * p + 1],
+                                      out[3 * p + 2]);
+}
+
 } // namespace
 
 namespace detail {
@@ -95,7 +124,9 @@ tableAvx512()
     static const KernelTable t{Backend::Avx512, "avx512",    logBatch,
                                expBatch,      expDraw,   expWeights,
                                addRows5,      argmin,      quantizeEnergies,      expDrawBin,
-                               gatherRates,   quantizeGatherRates};
+                               ttfBins,
+                               gatherRates,   quantizeGatherRates,
+                               quantizeClassifyRow};
     return t;
 }
 

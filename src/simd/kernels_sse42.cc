@@ -67,6 +67,13 @@ expDrawBin(const double *u, const double *rates, std::size_t n,
                                       drop_truncated, bins);
 }
 
+void
+ttfBins(const double *u, const double *rates, std::size_t n,
+        double t_max, bool drop_truncated, double *bins)
+{
+    detail::ttfBinsT<VSse42>(u, rates, n, t_max, drop_truncated, bins);
+}
+
 
 void
 gatherRates(const double *q, double e_min, const double *table,
@@ -84,6 +91,19 @@ quantizeGatherRates(const float *e, double top, bool subtract_min,
                                         rates, n);
 }
 
+
+void
+quantizeClassifyRow(const float *e, double top, bool subtract_min,
+                    const std::uint8_t *cls, std::size_t n,
+                    std::size_t m, std::uint64_t *out)
+{
+    for (std::size_t p = 0; p < n; ++p)
+        detail::quantizeClassifyT<VSse42>(e + p * m, top, subtract_min,
+                                      cls, m, out[3 * p],
+                                      out[3 * p + 1],
+                                      out[3 * p + 2]);
+}
+
 } // namespace
 
 namespace detail {
@@ -94,7 +114,9 @@ tableSse42()
     static const KernelTable t{Backend::Sse42, "sse42",   logBatch,
                                expBatch,       expDraw,   expWeights,
                                addRows5,       argmin,       quantizeEnergies,       expDrawBin,
-                               gatherRates,   quantizeGatherRates};
+                               ttfBins,
+                               gatherRates,   quantizeGatherRates,
+                               quantizeClassifyRow};
     return t;
 }
 

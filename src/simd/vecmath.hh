@@ -772,6 +772,47 @@ expDrawBinT(const double *u, const double *rates, std::size_t n,
 }
 
 /**
+ * Elementwise half of expDrawBinT: the same -log(u)/rate draw and
+ * 1-based bin quantization (floor(ttf)+1 inside the window, t_max or
+ * +inf at/after the window end), without the reduction.  Because the
+ * vecmath cores are lane/width invariant, bins[i] here is
+ * bit-identical to expDrawBinT's in-place bins output no matter how
+ * the caller chunks the plane — which is the point: many pixels'
+ * draws can run through one long dispatch and a per-pixel scalar
+ * min-scan over the stored bins reproduces each pixel's
+ * BinRaceResult exactly.  In-place (u == bins) is supported.
+ */
+template <typename V>
+inline void
+ttfBinsT(const double *u, const double *rates, std::size_t n,
+         double t_max, bool drop_truncated, double *bins)
+{
+    constexpr std::size_t w = V::kWidth;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const double overflow = drop_truncated ? kInf : t_max;
+    const typename V::vd zero_bias = V::set1(0.0);
+    const typename V::vd vmax = V::set1(t_max);
+    const typename V::vd vover = V::set1(overflow);
+    const typename V::vd vone = V::set1(1.0);
+    std::size_t i = 0;
+    for (; i + w <= n; i += w) {
+        typename V::vd tt =
+            V::div(V::neg(vlogNormalCore<V>(V::load(u + i),
+                                            zero_bias)),
+                   V::load(rates + i));
+        typename V::vd bin =
+            V::select(V::cmplt(tt, vmax),
+                      V::add(V::floor(tt), vone), vover);
+        V::store(bins + i, bin);
+    }
+    for (; i < n; ++i) {
+        double tt = -vlogNormalCore<VScalar>(u[i], 0.0) / rates[i];
+        bins[i] =
+            tt < t_max ? VScalar::floor(tt) + 1.0 : overflow;
+    }
+}
+
+/**
  * out[i] = table[(size_t)(q[i] - e_min)].  The caller guarantees each
  * q[i] - e_min is an exact non-negative integer below 2^32, so the
  * index is recovered from the shifter-pivot bit image (add 1.5*2^52,
@@ -816,6 +857,142 @@ quantizeGatherRatesT(const float *e, double top, bool subtract_min,
     gatherRatesT<V>(rates, subtract_min ? e_min : 0.0, table, rates,
                     n);
 }
+
+/**
+ * Fused quantize + race-class pack feeding RaceFastPath's packed
+ * lane: quantize one pixel's n <= 16 label energies exactly like
+ * quantizeEnergiesT, index the byte table @p cls with
+ * q[i] - (subtract_min ? e_min : 0), and pack the three words the
+ * lane consumes —
+ *   word    per-class label counts, class c's count in byte c;
+ *   cw0/cw1 label -> class bytes, label i in byte i (cw0, i < 8)
+ *           or byte i - 8 (cw1).
+ * Class values must be < 8 so the count bytes cover them.  The
+ * quantized indices never materialize in caller-visible memory; the
+ * staging buffer lives on the stack (hence the n <= 16 bound).
+ * Returns e_min.
+ */
+template <typename V>
+inline double
+quantizeClassifyT(const float *e, double top, bool subtract_min,
+                  const std::uint8_t *cls, std::size_t n,
+                  std::uint64_t &word, std::uint64_t &cw0,
+                  std::uint64_t &cw1)
+{
+    double q[16];
+    const double e_min = quantizeEnergiesT<V>(e, top, q, n);
+    const double base = subtract_min ? e_min : 0.0;
+    word = cw0 = cw1 = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t c =
+            cls[static_cast<std::size_t>(q[i] - base)];
+        word += 1ULL << (8 * c);
+        if (i < 8)
+            cw0 |= c << (8 * i);
+        else
+            cw1 |= c << (8 * (i - 8));
+    }
+    return e_min;
+}
+
+#if defined(RETSIM_SIMD_BACKEND_AVX2) ||                              \
+    defined(RETSIM_SIMD_BACKEND_AVX512)
+/**
+ * AVX2 16-label core of quantizeClassifyT.  The quantization runs in
+ * the float domain: float -> double widening is exact, so both
+ * domains round the same real numbers to the same integers
+ * (round-half-even either way), and the clamp bounds are exact in
+ * float as long as top < 2^24 — the caller gates on that.  maxps
+ * returns its second operand when either input is NaN, clamping NaN
+ * energies to 0 exactly like the scalar quantizer.  The class bytes
+ * come through 32-bit gathers, so @p cls must stay readable 4 bytes
+ * past the largest reachable index (RaceFastPath pads its table);
+ * the count word is a variable-shift tree (1 << 8*class summed over
+ * u64 lanes — counts stay below 2^8, so byte sums never carry).
+ */
+inline double
+quantizeClassify16Avx2(const float *e, double top, bool subtract_min,
+                       const std::uint8_t *cls, std::uint64_t &word,
+                       std::uint64_t &cw0, std::uint64_t &cw1)
+{
+    const __m256 vzero = _mm256_setzero_ps();
+    const __m256 vtop = _mm256_set1_ps(static_cast<float>(top));
+    constexpr int kRound =
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+    __m256 r0 = _mm256_round_ps(_mm256_loadu_ps(e), kRound);
+    __m256 r1 = _mm256_round_ps(_mm256_loadu_ps(e + 8), kRound);
+    r0 = _mm256_min_ps(_mm256_max_ps(r0, vzero), vtop);
+    r1 = _mm256_min_ps(_mm256_max_ps(r1, vzero), vtop);
+
+    // Horizontal minimum (exact small integers, order-free).
+    const __m256 mn2 = _mm256_min_ps(r0, r1);
+    __m128 mn = _mm_min_ps(_mm256_castps256_ps128(mn2),
+                           _mm256_extractf128_ps(mn2, 1));
+    mn = _mm_min_ps(mn, _mm_movehl_ps(mn, mn));
+    mn = _mm_min_ss(mn, _mm_shuffle_ps(mn, mn, 1));
+    const float e_min = _mm_cvtss_f32(mn);
+
+    __m256i i0 = _mm256_cvtps_epi32(r0);
+    __m256i i1 = _mm256_cvtps_epi32(r1);
+    if (subtract_min) {
+        const __m256i b =
+            _mm256_set1_epi32(static_cast<int>(e_min));
+        i0 = _mm256_sub_epi32(i0, b);
+        i1 = _mm256_sub_epi32(i1, b);
+    }
+    // Masked gather with a defined source: same op, but GCC's
+    // maskless wrapper feeds an uninitialized register to the
+    // builtin and trips -Wmaybe-uninitialized.
+    const int *clsw = reinterpret_cast<const int *>(cls);
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i all = _mm256_set1_epi32(-1);
+    const __m256i bytemask = _mm256_set1_epi32(0xff);
+    const __m256i c0 = _mm256_and_si256(
+        _mm256_mask_i32gather_epi32(zero, clsw, i0, all, 1),
+        bytemask);
+    const __m256i c1 = _mm256_and_si256(
+        _mm256_mask_i32gather_epi32(zero, clsw, i1, all, 1),
+        bytemask);
+
+    // cw words: keep byte 0 of each dword, compacted per 128-bit
+    // lane, then spliced from dword 0 of each lane.
+    const __m256i sel = _mm256_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    const __m256i p0 = _mm256_shuffle_epi8(c0, sel);
+    const __m256i p1 = _mm256_shuffle_epi8(c1, sel);
+    cw0 = static_cast<std::uint32_t>(_mm256_extract_epi32(p0, 0)) |
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               _mm256_extract_epi32(p0, 4)))
+           << 32);
+    cw1 = static_cast<std::uint32_t>(_mm256_extract_epi32(p1, 0)) |
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               _mm256_extract_epi32(p1, 4)))
+           << 32);
+
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i s0 = _mm256_slli_epi32(c0, 3);
+    const __m256i s1 = _mm256_slli_epi32(c1, 3);
+    const __m256i acc = _mm256_add_epi64(
+        _mm256_add_epi64(
+            _mm256_sllv_epi64(one, _mm256_cvtepu32_epi64(
+                                       _mm256_castsi256_si128(s0))),
+            _mm256_sllv_epi64(
+                one, _mm256_cvtepu32_epi64(
+                         _mm256_extracti128_si256(s0, 1)))),
+        _mm256_add_epi64(
+            _mm256_sllv_epi64(one, _mm256_cvtepu32_epi64(
+                                       _mm256_castsi256_si128(s1))),
+            _mm256_sllv_epi64(
+                one, _mm256_cvtepu32_epi64(
+                         _mm256_extracti128_si256(s1, 1)))));
+    __m128i a = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                              _mm256_extracti128_si256(acc, 1));
+    a = _mm_add_epi64(a, _mm_unpackhi_epi64(a, a));
+    word = static_cast<std::uint64_t>(_mm_cvtsi128_si64(a));
+    return static_cast<double>(e_min);
+}
+#endif // AVX2 / AVX512 backend TU
 
 } // namespace detail
 } // namespace simd

@@ -43,6 +43,7 @@
 #include "apps/motion.hh"
 #include "apps/segmentation.hh"
 #include "apps/stereo.hh"
+#include "core/race_cli.hh"
 #include "core/rsu_config.hh"
 #include "core/sampler_rsu.hh"
 #include "img/synthetic.hh"
@@ -80,10 +81,18 @@ constexpr MetricDef kMetrics[] = {
     {"segmentation.pri", "higher", 0.05},
 };
 
+/** `--race-mode=` selection; the gated metrics must stay within the
+ *  pinned tolerances in every mode (the fast path draws a different
+ *  but identically distributed stream — the CI race-equivalence leg
+ *  runs the gate under fastpath against the same baselines). */
+core::RaceMode g_race_mode = core::RaceMode::Race;
+
 core::RsuSampler
 makeSampler()
 {
-    return core::RsuSampler(core::RsuConfig::newDesign());
+    core::RsuConfig cfg = core::RsuConfig::newDesign();
+    cfg.raceMode = g_race_mode;
+    return core::RsuSampler(cfg);
 }
 
 /** Crash-drill options for the CI resume-equivalence leg. */
@@ -344,6 +353,7 @@ main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
     simd::backendFromCli(args); // --simd= dispatch override
+    g_race_mode = core::raceModeFromCli(args);
     const std::string baselines = args.getString(
         "baselines", "tests/golden/quality_baselines.json");
 

@@ -40,6 +40,7 @@
 #include "apps/motion.hh"
 #include "apps/segmentation.hh"
 #include "apps/stereo.hh"
+#include "core/race_cli.hh"
 #include "core/rsu_config.hh"
 #include "core/sampler_cdf.hh"
 #include "core/sampler_rsu.hh"
@@ -61,11 +62,17 @@ using namespace retsim;
 using SamplerFactory =
     std::unique_ptr<mrf::LabelSampler> (*)();
 
+/** `--race-mode=` selection for the RSU cases.  The fast path's fixed
+ *  draws-per-pixel layout makes it exactly as replayable as the
+ *  literal race, and CI runs this validator in both modes. */
+core::RaceMode g_race_mode = core::RaceMode::Race;
+
 std::unique_ptr<mrf::LabelSampler>
 makeRsu()
 {
-    return std::make_unique<core::RsuSampler>(
-        core::RsuConfig::newDesign());
+    core::RsuConfig cfg = core::RsuConfig::newDesign();
+    cfg.raceMode = g_race_mode;
+    return std::make_unique<core::RsuSampler>(cfg);
 }
 
 std::unique_ptr<mrf::LabelSampler>
@@ -259,6 +266,7 @@ main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
     simd::backendFromCli(args); // --simd= dispatch override
+    g_race_mode = core::raceModeFromCli(args);
     const int sweeps = static_cast<int>(args.getInt("sweeps", 16));
     const int kill_at = static_cast<int>(args.getInt("kill-at", 7));
     const std::string tmpdir = args.getString("tmpdir", ".");
@@ -296,7 +304,7 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("\nreplay_check: all cases byte-identical after "
-                "kill-at-%d + resume\n",
-                kill_at);
+                "kill-at-%d + resume (race_mode=%s)\n",
+                kill_at, core::toString(g_race_mode).c_str());
     return 0;
 }
