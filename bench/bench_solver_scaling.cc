@@ -10,6 +10,13 @@
  * at 1/2/4/N threads with a fixed stripe count — and emits
  * machine-readable JSON (BENCH_solver_scaling.json) so later PRs have
  * a perf trajectory to regress against.
+ *
+ * The sampler under test is selectable (--sampler=software|cdf-lut|
+ * rsu, --race-mode=race|fastpath|auto), and the default workload list
+ * includes an rsu-new-design fast-path stereo run at the packed-lane
+ * label count so the device pipeline's scaling is tracked alongside
+ * the software baseline.  Each run reports the incremental
+ * energy-plane cache's hit rate (--energy-cache=0 disables it).
  */
 
 #include <chrono>
@@ -20,8 +27,11 @@
 #include "apps/denoising.hh"
 #include "apps/stereo.hh"
 #include "bench_common.hh"
+#include "core/sampler_cdf.hh"
+#include "core/sampler_rsu.hh"
 #include "img/synthetic.hh"
 #include "mrf/checkerboard.hh"
+#include "obs/metrics.hh"
 #include "simd/simd_cli.hh"
 
 namespace {
@@ -34,6 +44,25 @@ struct RunResult
     int stripes = 0;
     double seconds = 0.0;
     double pixelsPerSec = 0.0;
+    double cacheHitRate = 0.0; ///< energy planes served clean
+};
+
+/** Energy-plane cache traffic of one run, read back from the global
+ *  metric registry the solvers fold their per-run stats into. */
+struct CacheCounters
+{
+    std::uint64_t hits = 0;
+    std::uint64_t recomputed = 0;
+
+    static CacheCounters now()
+    {
+        obs::Registry &reg = obs::Registry::global();
+        static const obs::MetricId h =
+            reg.counter("mrf.energy_cache.clean_hits");
+        static const obs::MetricId r =
+            reg.counter("mrf.energy_cache.recomputed");
+        return {reg.counterValue(h), reg.counterValue(r)};
+    }
 };
 
 double
@@ -60,7 +89,16 @@ measure(const mrf::MrfProblem &problem,
     RunResult r;
     r.threads = threads;
     r.stripes = stripes;
+    const CacheCounters before = CacheCounters::now();
     r.seconds = timeSolve(problem, factory, cfg);
+    const CacheCounters after = CacheCounters::now();
+    const double served =
+        static_cast<double>((after.hits - before.hits) +
+                            (after.recomputed - before.recomputed));
+    r.cacheHitRate =
+        served > 0.0
+            ? static_cast<double>(after.hits - before.hits) / served
+            : 0.0;
     double pixels = static_cast<double>(problem.width()) *
                     problem.height() * cfg.annealing.sweeps;
     r.pixelsPerSec = pixels / r.seconds;
@@ -71,9 +109,9 @@ void
 printRun(const RunResult &r, double serial_s)
 {
     std::printf("  threads=%2d stripes=%2d  %8.3f s  %12.0f px/s  "
-                "%.2fx\n",
+                "cache-hit %5.1f%%  %.2fx\n",
                 r.threads, r.stripes, r.seconds, r.pixelsPerSec,
-                serial_s / r.seconds);
+                100.0 * r.cacheHitRate, serial_s / r.seconds);
 }
 
 } // namespace
@@ -89,18 +127,50 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(args.getInt("seed", 1));
     const std::string out =
         args.getString("out", "BENCH_solver_scaling.json");
+    const std::string sampler_arg = args.getString("sampler", "");
+    const std::string race_arg = args.getString("race-mode", "auto");
+    const bool energy_cache = args.getBool("energy-cache", true);
     const int hw = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
     const char *backend =
         simd::backendName(simd::backendFromCli(args));
+
+    core::RaceMode race_mode = core::RaceMode::Auto;
+    if (race_arg == "race")
+        race_mode = core::RaceMode::Race;
+    else if (race_arg == "fastpath")
+        race_mode = core::RaceMode::FastPath;
+    else if (race_arg != "auto")
+        RETSIM_FATAL("unknown --race-mode=", race_arg,
+                     " (race|fastpath|auto)");
+
+    auto named_factory =
+        [&](const std::string &name) -> bench::SamplerFactory {
+        if (name == "software")
+            return bench::softwareFactory();
+        if (name == "cdf-lut")
+            return [] {
+                return std::make_unique<core::CdfLutSampler>(
+                    std::make_unique<rng::Mt19937>(42), 64);
+            };
+        if (name == "rsu") {
+            core::RsuConfig rc = core::RsuConfig::newDesign();
+            rc.raceMode = race_mode;
+            return bench::rsuFactory(rc);
+        }
+        RETSIM_FATAL("unknown --sampler=", name,
+                     " (software|cdf-lut|rsu)");
+        return {};
+    };
 
     bench::printHeader(
         "Chromatic Gibbs sweep throughput: serial vs. row-striped "
         "threading",
         "software substrate of the concurrent RSU-G array (Sec. II-C)");
     std::printf("grid %dx%d, %d sweeps, %d hardware threads, simd "
-                "backend %s\n",
-                size, size, sweeps, hw, backend);
+                "backend %s, energy cache %s\n",
+                size, size, sweeps, hw, backend,
+                energy_cache ? "on" : "off");
 
     // Thread counts 1/2/4/N, deduplicated and capped at the machine.
     std::set<int> thread_set{1, 2, 4, hw};
@@ -123,18 +193,52 @@ main(int argc, char **argv)
     img::StereoScene scene = img::makeStereoScene(sspec, seed + 17);
     mrf::MrfProblem stereo = apps::buildStereoProblem(scene);
 
+    // Stereo at the RSU's packed-lane label count: the workload the
+    // categorical fast path (and its quantize/classify row cache) is
+    // built for.
+    img::StereoSceneSpec fspec = sspec;
+    fspec.numLabels = 16;
+    img::StereoScene fscene = img::makeStereoScene(fspec, seed + 17);
+    mrf::MrfProblem stereo16 = apps::buildStereoProblem(fscene);
+
     struct Workload
     {
         const char *name;
         const mrf::MrfProblem *problem;
         mrf::SolverConfig cfg;
+        bench::SamplerFactory factory;
+        const char *sampler;
+        const char *raceMode;
     };
     mrf::SolverConfig dcfg = apps::defaultDenoisingSolver(sweeps, seed);
     mrf::SolverConfig scfg = apps::defaultStereoSolver(sweeps, seed);
-    Workload workloads[] = {{"denoising", &denoise, dcfg},
-                            {"stereo", &stereo, scfg}};
+    dcfg.energyCache = energy_cache;
+    scfg.energyCache = energy_cache;
 
-    bench::SamplerFactory factory = bench::softwareFactory();
+    std::vector<Workload> workloads;
+    if (!sampler_arg.empty()) {
+        // Explicit sampler: run the two standard workloads with it.
+        const char *rm =
+            sampler_arg == "rsu" ? race_arg.c_str() : "n/a";
+        workloads.push_back({"denoising", &denoise, dcfg,
+                             named_factory(sampler_arg),
+                             sampler_arg.c_str(), rm});
+        workloads.push_back({"stereo", &stereo, scfg,
+                             named_factory(sampler_arg),
+                             sampler_arg.c_str(), rm});
+    } else {
+        core::RsuConfig frc = core::RsuConfig::newDesign();
+        frc.raceMode = core::RaceMode::FastPath;
+        workloads.push_back({"denoising", &denoise, dcfg,
+                             bench::softwareFactory(),
+                             "software-float", "n/a"});
+        workloads.push_back({"stereo", &stereo, scfg,
+                             bench::softwareFactory(),
+                             "software-float", "n/a"});
+        workloads.push_back({"stereo16-rsu-fastpath", &stereo16, scfg,
+                             bench::rsuFactory(frc), "rsu-new-design",
+                             "fastpath"});
+    }
 
     std::FILE *f = std::fopen(out.c_str(), "w");
     if (!f)
@@ -145,25 +249,30 @@ main(int argc, char **argv)
                  "  \"simd_backend\": \"%s\",\n"
                  "  \"grid\": [%d, %d],\n  \"sweeps\": %d,\n"
                  "  \"seed\": %llu,\n  \"hardware_threads\": %d,\n"
-                 "  \"sampler\": \"software-float\",\n"
+                 "  \"energy_cache\": %s,\n"
                  "  \"workloads\": [",
                  backend, size, size, sweeps,
-                 static_cast<unsigned long long>(seed), hw);
+                 static_cast<unsigned long long>(seed), hw,
+                 energy_cache ? "true" : "false");
 
     bool first_workload = true;
     for (const Workload &w : workloads) {
-        std::printf("\n[%s] %d labels\n", w.name,
-                    w.problem->numLabels());
+        std::printf("\n[%s] %d labels, sampler %s, race mode %s\n",
+                    w.name, w.problem->numLabels(), w.sampler,
+                    w.raceMode);
 
         // Serial reference: the historical single-stream path.
-        RunResult serial = measure(*w.problem, factory, w.cfg, 1, 0);
-        std::printf("  serial (reference)   %8.3f s  %12.0f px/s\n",
-                    serial.seconds, serial.pixelsPerSec);
+        RunResult serial =
+            measure(*w.problem, w.factory, w.cfg, 1, 0);
+        std::printf("  serial (reference)   %8.3f s  %12.0f px/s  "
+                    "cache-hit %5.1f%%\n",
+                    serial.seconds, serial.pixelsPerSec,
+                    100.0 * serial.cacheHitRate);
 
         std::vector<RunResult> runs;
         for (int t : thread_set)
             runs.push_back(
-                measure(*w.problem, factory, w.cfg, t, stripes));
+                measure(*w.problem, w.factory, w.cfg, t, stripes));
         for (const RunResult &r : runs)
             printRun(r, serial.seconds);
 
@@ -171,11 +280,14 @@ main(int argc, char **argv)
             f,
             "%s\n    {\n      \"name\": \"%s\",\n"
             "      \"labels\": %d,\n"
+            "      \"sampler\": \"%s\",\n"
+            "      \"race_mode\": \"%s\",\n"
             "      \"serial\": {\"seconds\": %.6f, "
-            "\"pixels_per_s\": %.1f},\n      \"runs\": [",
+            "\"pixels_per_s\": %.1f, "
+            "\"energy_cache_hit_rate\": %.4f},\n      \"runs\": [",
             first_workload ? "" : ",", w.name,
-            w.problem->numLabels(), serial.seconds,
-            serial.pixelsPerSec);
+            w.problem->numLabels(), w.sampler, w.raceMode,
+            serial.seconds, serial.pixelsPerSec, serial.cacheHitRate);
         first_workload = false;
         for (std::size_t i = 0; i < runs.size(); ++i) {
             const RunResult &r = runs[i];
@@ -183,9 +295,11 @@ main(int argc, char **argv)
                 f,
                 "%s\n        {\"threads\": %d, \"stripes\": %d, "
                 "\"seconds\": %.6f, \"pixels_per_s\": %.1f, "
+                "\"energy_cache_hit_rate\": %.4f, "
                 "\"speedup_vs_serial\": %.3f}",
                 i == 0 ? "" : ",", r.threads, r.stripes, r.seconds,
-                r.pixelsPerSec, serial.seconds / r.seconds);
+                r.pixelsPerSec, r.cacheHitRate,
+                serial.seconds / r.seconds);
         }
         std::fprintf(f, "\n      ]\n    }");
     }

@@ -66,6 +66,7 @@
 
 #include "core/rsu_config.hh"
 #include "core/ttf_race.hh"
+#include "simd/kernels.hh"
 
 namespace retsim {
 namespace core {
@@ -166,6 +167,38 @@ class RaceFastPath
   public:
     explicit RaceFastPath(const RsuConfig &cfg);
 
+    /** Words per pixel of the caller-owned row cache consumed by
+     *  raceEnergiesRowCached(): magic, bind generation, two packed
+     *  quantized-byte words (q - base of up to 16 labels) and the
+     *  three classify words (count word + two label->class words). */
+    static constexpr std::size_t kRowCacheWords = 7;
+
+    /** Cumulative row-cache traffic (raceEnergiesRowCached only). */
+    struct RowCacheStats
+    {
+        std::uint64_t drawHits = 0;     ///< classify words reused
+        std::uint64_t classifyHits = 0; ///< quantized bytes reused
+        std::uint64_t misses = 0;       ///< full quantize + classify
+    };
+
+    const RowCacheStats &rowCacheStats() const
+    {
+        return rowCacheStats_;
+    }
+
+    /** Monotone stamp of the currently bound rate alphabet; bumped on
+     *  every real bindRateTable() rebuild (content-identical rebinds
+     *  keep it), never 0.  Cached classify words carry the stamp they
+     *  were built under. */
+    std::uint64_t bindGen() const { return bindGen_; }
+
+    /** Whether a pixel of @p m labels takes the packed lane under the
+     *  currently bound alphabet (raceEnergiesRowCached requires it). */
+    bool packedEligible(std::size_t m) const
+    {
+        return packedOk_ && m <= 16;
+    }
+
     /** Can this config be served by the fast path at all?  Float
      *  time always can (on-the-fly CDF over the rates); binned time
      *  requires rates drawn from the finite quantized alphabet
@@ -246,6 +279,29 @@ class RaceFastPath
                          RaceOutcome *out);
 
     /**
+     * raceEnergiesRow plus a sweep-persistent per-pixel derived-state
+     * cache: @p cache holds kRowCacheWords u64 per pixel (zero-filled
+     * = empty) and @p dirty — when non-null — is a bitset (bit p =
+     * pixel p) of pixels whose energies changed since the cache words
+     * were written; null means nothing changed.  Clean pixels skip
+     * the quantize pass (their packed q - base bytes are cached) and,
+     * when the bind generation also matches, the classify pass too —
+     * the draw runs straight off the cached count/class words.
+     * Result-identical to raceEnergiesRow on the same inputs: the
+     * cached bytes/words are exactly what the fused kernel would
+     * recompute (quantization depends only on the energies and the
+     * fixed top/subtract_min; classification additionally on the
+     * bound alphabet, which the generation stamp guards).  Requires
+     * packedEligible(m) and top <= 255 (q - base must fit a byte).
+     */
+    void raceEnergiesRowCached(const float *energies, double top,
+                               bool subtract_min, std::size_t n,
+                               std::size_t m, const double *u,
+                               RaceOutcome *out,
+                               std::uint64_t *cache,
+                               const std::uint64_t *dirty);
+
+    /**
      * Float-time race over one pixel's absolute rates: one uniform
      * inverts the prefix-sum CDF, realizing P(i) = rate_i /
      * sum(rate) (rates <= 0 never win; winner -1 when none is
@@ -298,6 +354,10 @@ class RaceFastPath
     unsigned drawsPerPixel_ = 1;
     double tMax_ = 0.0; ///< window length in bins
     std::uint64_t modeWord_ = 0;
+    std::uint64_t bindGen_ = 0; ///< 0 until the first bind
+    RowCacheStats rowCacheStats_;
+    /** Content of the last real bind, for the rebind early-out. */
+    std::vector<double> boundTable_;
 
     // ---- bound alphabet (rebuilt by bindRateTable) -------------------
     std::vector<double> alphabet_;       ///< sorted distinct rates
@@ -305,6 +365,12 @@ class RaceFastPath
     /** classOf_ as bytes, padded 8 past the end for the fused
      *  kernel's 32-bit gathers; built only for the packed lane. */
     std::vector<std::uint8_t> classBytes_;
+    /** classBytes_ re-encoded as a step function for the gather-free
+     *  classify kernel; valid only while rangeClsOk_ (the table is
+     *  monotone in q with <= 8 runs — always, for rate tables that
+     *  decay with energy). */
+    simd::RangeClassifier rangeCls_;
+    bool rangeClsOk_ = false;
     std::vector<double> tieP_;           ///< per class 1 - e^{-rate}
     bool packedOk_ = false;   ///< alphabet fits the packed lane
     int zeroClass_ = -1;      ///< alphabet index of the rate-0 class
@@ -321,7 +387,9 @@ class RaceFastPath
         // class alphabet has <= 16 outcomes) plus its slot ->
         // alphabet-class map, so the hot draw touches no memory
         // outside this entry: two adjacent cache lines, no heap
-        // hops, no ownership to track.
+        // hops, no ownership to track.  (Keeping the arrays by
+        // pointer instead measures slower: the per-table heap
+        // vectors scatter, and the draw picks up a dependent load.)
         double outcomes = 0.0; ///< table outcome count (2 * classes)
         std::uint8_t slotClass[8] = {};
         std::uint8_t alias[16] = {};
@@ -337,6 +405,9 @@ class RaceFastPath
     // triples, the quantizeClassifyRow kernel layout) + memo slots.
     std::vector<std::uint64_t> rowWords_;
     std::vector<std::uint32_t> rowSlot_;
+    /** Per-pixel cache disposition of the current cached row
+     *  (draw hit / classify hit / miss), run-length batched. */
+    std::vector<std::uint8_t> rowState_;
     // raceEnergiesRow fallback scratch: one pixel's quantized plane.
     std::vector<double> quantScratch_;
 
@@ -351,6 +422,33 @@ class RaceFastPath
     };
     static constexpr std::size_t kMemoSlots = 4096;
     std::vector<MemoEntry> memo_;
+
+    // ---- packed-fill accelerators ------------------------------------
+    // High temperatures make the count word nearly unique per pixel,
+    // so the packed memo refills constantly; these two memos cut the
+    // refill cost itself.  Neither needs invalidation: the exp memo
+    // is keyed by the exact r_tot bits (tMax_/drop_ are fixed per
+    // instance) and the table memo compares the full canonical key.
+    /** r_tot bit pattern -> the two transcendental gates. */
+    struct ExpMemoEntry
+    {
+        std::uint64_t key = ~std::uint64_t{0}; ///< never a finite sum
+        double qAll = 1.0;
+        double gate = 0.0;
+    };
+    static constexpr std::size_t kExpMemoSlots = 16384;
+    std::vector<ExpMemoEntry> expMemo_;
+    /** Canonical table key -> shared table, bypassing the global
+     *  cache's mutex + ordered map on the hot refill path. */
+    struct TableMemoEntry
+    {
+        RaceTableCache::Key key; ///< empty = unused slot
+        std::shared_ptr<const RaceTable> table;
+    };
+    static constexpr std::size_t kTableMemoSlots = 4096;
+    std::vector<TableMemoEntry> tableMemo_;
+    /** Fetch the race table for key_, through tableMemo_. */
+    const RaceTable *fetchTable();
 };
 
 } // namespace core

@@ -1,6 +1,8 @@
 #include "core/sampler_cdf.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "simd/kernels.hh"
 #include "util/logging.hh"
@@ -86,31 +88,117 @@ CdfLutSampler::sampleRow(std::span<const float> energies,
     source_->fillUniform(uniforms_);
 
     samples_ += n;
-    cdf_.resize(m);
+    // Whole-row weights in one fused kernel call (bit-identical to
+    // per-pixel expWeights — the exp core is lane/width invariant),
+    // then the scalar prefix-sum + inversion per pixel.
+    cdf_.resize(n * m);
+    simd::kernels().gibbsWeightsRow(energies.data(), n, m,
+                                    temperature, cdf_.data());
     for (std::size_t p = 0; p < n; ++p) {
-        const float *e = energies.data() + p * m;
-        float e_min = e[0];
-        for (std::size_t i = 0; i < m; ++i)
-            e_min = std::min(e_min, e[i]);
-
-        simd::kernels().expWeights(e, static_cast<double>(e_min),
-                                   temperature, cdf_.data(), m);
-        double acc = 0.0;
-        for (std::size_t i = 0; i < m; ++i) {
-            acc += cdf_[i];
-            cdf_[i] = acc;
-        }
-
-        double u = uniforms_[p] * acc;
-        int chosen = static_cast<int>(m) - 1;
-        for (std::size_t i = 0; i < m; ++i) {
-            if (u < cdf_[i]) {
-                chosen = static_cast<int>(i);
-                break;
-            }
-        }
-        out[p] = chosen;
+        double *row = cdf_.data() + p * m;
+        prefixSum(row, m);
+        out[p] = invertPrefixed(row, m, uniforms_[p]);
     }
+}
+
+void
+CdfLutSampler::prefixSum(double *w, std::size_t m)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        acc += w[i];
+        w[i] = acc;
+    }
+}
+
+int
+CdfLutSampler::invertPrefixed(const double *cdf, std::size_t m,
+                              double u01)
+{
+    const double u = u01 * cdf[m - 1];
+    for (std::size_t i = 0; i < m; ++i) {
+        if (u < cdf[i])
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(m) - 1;
+}
+
+std::size_t
+CdfLutSampler::rowCacheWords(int numLabels) const
+{
+    return static_cast<std::size_t>(numLabels) + 1;
+}
+
+void
+CdfLutSampler::sampleRowCached(std::span<const float> energies,
+                               int numLabels, double temperature,
+                               std::span<const int> current,
+                               std::span<int> out, rng::Rng &gen,
+                               std::span<std::uint64_t> cache,
+                               const std::uint64_t *dirty)
+{
+    (void)gen; // the entropy source under study is source_
+    const std::size_t n = out.size();
+    const std::size_t m = static_cast<std::size_t>(numLabels);
+    const std::size_t words = m + 1;
+    if (n == 0)
+        return;
+    if (cache.size() < n * words) {
+        sampleRow(energies, numLabels, temperature, current, out,
+                  gen);
+        return;
+    }
+    RETSIM_ASSERT(numLabels >= 1, "no labels to sample");
+    RETSIM_ASSERT(energies.size() == n * m && current.size() == n,
+                  "batch span sizes disagree");
+    RETSIM_ASSERT(numLabels <= maxLabels_, "label count ", numLabels,
+                  " exceeds CDF LUT capacity ", maxLabels_);
+    RETSIM_ASSERT(temperature > 0.0, "temperature must be positive");
+
+    uniforms_.resize(n);
+    source_->fillUniform(uniforms_);
+    samples_ += n;
+
+    // Per-pixel record: [0] the temperature's bit pattern (T > 0, so
+    // zero-filled never validates), [1..m] the pixel's prefix-summed
+    // cumulative table — a clean pixel at an unchanged temperature
+    // skips the exp AND the prefix sum.  Dirty runs go through the
+    // same fused kernel sampleRow uses.
+    const std::uint64_t tbits =
+        std::bit_cast<std::uint64_t>(temperature);
+    cdf_.resize(n * m);
+    std::size_t p = 0;
+    while (p < n) {
+        std::uint64_t *slot = cache.data() + p * words;
+        const bool stale =
+            (dirty && ((dirty[p >> 6] >> (p & 63)) & 1)) ||
+            slot[0] != tbits;
+        if (!stale) {
+            std::memcpy(cdf_.data() + p * m, slot + 1,
+                        m * sizeof(double));
+            ++p;
+            continue;
+        }
+        std::size_t q = p + 1;
+        while (q < n &&
+               (((dirty ? (dirty[q >> 6] >> (q & 63)) & 1 : 0)) ||
+                cache[q * words] != tbits))
+            ++q;
+        simd::kernels().gibbsWeightsRow(energies.data() + p * m,
+                                        q - p, m, temperature,
+                                        cdf_.data() + p * m);
+        for (std::size_t r = p; r < q; ++r) {
+            double *row = cdf_.data() + r * m;
+            prefixSum(row, m);
+            std::uint64_t *s = cache.data() + r * words;
+            s[0] = tbits;
+            std::memcpy(s + 1, row, m * sizeof(double));
+        }
+        p = q;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] =
+            invertPrefixed(cdf_.data() + i * m, m, uniforms_[i]);
 }
 
 void

@@ -40,6 +40,20 @@ class SoftwareSampler : public mrf::LabelSampler
                    double temperature, std::span<const int> current,
                    std::span<int> out, rng::Rng &gen) override;
 
+    /** Per-pixel cached record: temperature stamp + m Boltzmann
+     *  weights, so clean pixels at an unchanged temperature skip the
+     *  exp entirely (the annealing tail sits on the tEnd floor). */
+    std::size_t rowCacheWords(int numLabels) const override;
+
+    /** Cached row twin; bit-identical outputs and RNG consumption to
+     *  sampleRow(). */
+    void sampleRowCached(std::span<const float> energies,
+                         int numLabels, double temperature,
+                         std::span<const int> current,
+                         std::span<int> out, rng::Rng &gen,
+                         std::span<std::uint64_t> cache,
+                         const std::uint64_t *dirty) override;
+
     std::string name() const override { return "software-float"; }
 
     /** Fold a stripe clone's sample count back into this sampler. */
@@ -76,6 +90,10 @@ class SoftwareSampler : public mrf::LabelSampler
     }
 
   private:
+    /** Normalize-and-invert one pixel's weight row with @p u01,
+     *  replicating sampleCategorical() decision for decision. */
+    static int invertCdf(const double *w, std::size_t m, double u01);
+
     std::vector<double> weights_; // scratch, reused across calls
     std::vector<double> uniforms_; // scratch, batched draws
     std::uint64_t samples_ = 0;

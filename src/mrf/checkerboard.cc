@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mrf/checkpoint.hh"
+#include "mrf/energy_cache.hh"
 #include "mrf/solver_telemetry.hh"
 #include "obs/metrics.hh"
 #include "util/logging.hh"
@@ -59,21 +60,52 @@ struct RowArena
 };
 
 /**
+ * One executor's view of the flip-aware energy-plane cache: the
+ * shared cache plus the sampler key-cache arena and this executor's
+ * row-ownership range for the stripe-boundary mark exchange (see
+ * energy_cache.hh).  Serial paths own the whole grid and never defer.
+ */
+struct CacheSlot
+{
+    EnergyPlaneCache *cache = nullptr;
+    std::uint64_t *keys = nullptr; ///< all slabs; null if kcw == 0
+    std::size_t kcw = 0;           ///< key words per pixel
+    std::size_t keyStride = 0;     ///< key words per slab
+    int rowLo = 0;
+    int rowHi = 0;
+    std::vector<std::uint64_t> *deferred = nullptr;
+};
+
+/**
  * Update one color-phase row through the batched sampler path and
  * return the per-row counter deltas.  Same-color pixels share no
  * edges, so gathering the whole row's conditionals before any write
  * is exactly what the scalar pixel loop computed.
+ *
+ * With a CacheSlot the row's conditionals come from the incremental
+ * plane (only dirty pixels recomputed, via the shadow-label fused
+ * kernel) and the sampler runs through sampleRowCached with the
+ * slab's key arena and the dirty bitset — everything downstream is
+ * bit-identical to the uncached path by the sampler contract.
  */
 StripeCounters
 updateRow(const MrfProblem &problem, LabelSampler &sampler,
           img::LabelMap &labels, int y, int color, double temperature,
-          RowArena &arena, rng::Rng &gen)
+          RowArena &arena, rng::Rng &gen, CacheSlot *cs)
 {
     StripeCounters c;
     const int m = problem.numLabels();
     const int x0 = (y + color) % 2;
-    const int n = problem.conditionalEnergiesRow(labels, y, x0, 2,
-                                                 arena.energies);
+    int n;
+    const float *eplane;
+    if (cs) {
+        n = cs->cache->refreshRow(problem, labels, y, color);
+        eplane = cs->cache->plane(y, color);
+    } else {
+        n = problem.conditionalEnergiesRow(labels, y, x0, 2,
+                                           arena.energies);
+        eplane = arena.energies.data();
+    }
     if (n == 0)
         return c;
     for (int i = 0; i < n; ++i)
@@ -84,16 +116,38 @@ updateRow(const MrfProblem &problem, LabelSampler &sampler,
                                  static_cast<std::size_t>(n));
     std::span<int> chosen(arena.chosen.data(),
                           static_cast<std::size_t>(n));
-    sampler.sampleRow(
-        std::span<const float>(arena.energies.data(),
-                               static_cast<std::size_t>(n) * m),
-        m, temperature, current, chosen, gen);
+    std::span<const float> energies(eplane,
+                                    static_cast<std::size_t>(n) * m);
+    if (cs) {
+        std::span<std::uint64_t> keys;
+        if (cs->keys)
+            keys = std::span<std::uint64_t>(
+                cs->keys +
+                    (static_cast<std::size_t>(y) * 2 + color) *
+                        cs->keyStride,
+                static_cast<std::size_t>(n) * cs->kcw);
+        sampler.sampleRowCached(energies, m, temperature, current,
+                                chosen, gen, keys,
+                                cs->cache->rowDirty(y, color));
+        cs->cache->clearRow(y, color);
+    } else {
+        sampler.sampleRow(energies, m, temperature, current, chosen,
+                          gen);
+    }
 
     for (int i = 0; i < n; ++i) {
-        labels(x0 + 2 * i, y) = chosen[static_cast<std::size_t>(i)];
-        if (chosen[static_cast<std::size_t>(i)] !=
-            current[static_cast<std::size_t>(i)])
+        const int x = x0 + 2 * i;
+        const int pick = chosen[static_cast<std::size_t>(i)];
+        labels(x, y) = pick;
+        if (pick != current[static_cast<std::size_t>(i)]) {
             ++c.labelChanges;
+            if (cs) {
+                cs->cache->setShadow(x, y, pick);
+                cs->cache->markFlip(x, y, Neighborhood::Four,
+                                    cs->rowLo, cs->rowHi,
+                                    cs->deferred);
+            }
+        }
     }
     c.pixelUpdates = static_cast<std::uint64_t>(n);
     return c;
@@ -196,16 +250,52 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
     // Serial reference path: one RNG stream drives every pixel, the
     // historical (pre-striping) behavior.  Taken only when neither a
     // stripe decomposition nor threading was requested.
+    // Flip-aware energy-plane cache shared by both execution paths
+    // (see energy_cache.hh).  Per-run state: fresh all-dirty planes
+    // plus a shadow-label sync at entry, so resume replay stays
+    // byte-identical to the uninterrupted run.  The sampler key arena
+    // rides alongside, one slab per (row, color), zero-filled (all
+    // invalid); slab ownership is fixed across sweeps so per-slab
+    // bind-generation stamps stay coherent.
+    std::unique_ptr<EnergyPlaneCache> cache;
+    std::vector<std::uint64_t> keyArena;
+    std::size_t kcw = 0;
+    if (config_.energyCache && m <= 256) {
+        cache = std::make_unique<EnergyPlaneCache>(
+            problem.width(), problem.height(), m, /*phases=*/2);
+        cache->syncShadow(labels);
+        kcw = sampler.rowCacheWords(m);
+        if (kcw > 0)
+            keyArena.assign(static_cast<std::size_t>(problem.height()) *
+                                2 *
+                                static_cast<std::size_t>(
+                                    (problem.width() + 1) / 2) *
+                                kcw,
+                            0);
+    }
+    const std::size_t keyStride =
+        static_cast<std::size_t>((problem.width() + 1) / 2) * kcw;
+
     if (serial) {
         RowArena arena(problem.width(), m);
         obs::MetricShard shard = reg.makeShard();
+        CacheSlot slot;
+        CacheSlot *cs = nullptr;
+        if (cache) {
+            slot = CacheSlot{cache.get(),
+                             keyArena.empty() ? nullptr
+                                              : keyArena.data(),
+                             kcw, keyStride, 0, problem.height(),
+                             nullptr};
+            cs = &slot;
+        }
         for (int s = start_sweep; s < config_.annealing.sweeps; ++s) {
             double temperature = config_.annealing.temperature(s);
             for (int color = 0; color < 2; ++color) {
                 for (int y = 0; y < problem.height(); ++y) {
                     StripeCounters c =
                         updateRow(problem, sampler, labels, y, color,
-                                  temperature, arena, gen);
+                                  temperature, arena, gen, cs);
                     shard.add(ids.pixelUpdates, c.pixelUpdates);
                     shard.add(ids.labelChanges, c.labelChanges);
                     if (trace) {
@@ -224,7 +314,9 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
                                       trace->energyPerSweep.back(),
                                       trace->pixelUpdates,
                                       trace->labelChanges,
-                                      sampler.stats());
+                                      sampler.stats(),
+                                      cache ? &cache->stats()
+                                            : nullptr);
             }
             if (config_.sweepObserver)
                 config_.sweepObserver(s, temperature, labels);
@@ -237,6 +329,8 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
         reg.add(ids.sweeps, static_cast<std::uint64_t>(
                                 config_.annealing.sweeps -
                                 start_sweep));
+        if (cache)
+            detail::foldCacheStats(cache->stats());
         return labels;
     }
 
@@ -288,6 +382,15 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
     std::vector<StripeCounters> counters(
         static_cast<std::size_t>(stripes));
 
+    // Per-stripe deferred dirty marks: a flip on a stripe-boundary row
+    // must dirty the neighbor pixel in the adjacent stripe, but that
+    // stripe's bitset words belong to the other executor during the
+    // phase.  Each stripe queues those out-of-range marks privately and
+    // the coordinator applies them at the color-phase join, before any
+    // other executor can read the affected rows.
+    std::vector<std::vector<std::uint64_t>> deferredMarks(
+        static_cast<std::size_t>(stripes));
+
     // One metrics shard per stripe: workers accumulate lock-free and
     // the coordinator folds them back into the process-wide registry
     // at the sweep join, so instrumentation never serializes the hot
@@ -309,10 +412,20 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
         RowArena &arena = scratch[k];
         StripeCounters &c = counters[k];
         obs::MetricShard &shard = shards[static_cast<std::size_t>(k)];
+        CacheSlot slot;
+        CacheSlot *cs = nullptr;
+        if (cache) {
+            slot = CacheSlot{
+                cache.get(),
+                keyArena.empty() ? nullptr : keyArena.data(), kcw,
+                keyStride, y0, y1,
+                &deferredMarks[static_cast<std::size_t>(k)]};
+            cs = &slot;
+        }
         for (int y = y0; y < y1; ++y) {
             StripeCounters rc =
                 updateRow(problem, stripe_sampler, labels, y, color,
-                          temperature, arena, stripe_gen);
+                          temperature, arena, stripe_gen, cs);
             c.pixelUpdates += rc.pixelUpdates;
             c.labelChanges += rc.labelChanges;
             shard.add(ids.pixelUpdates, rc.pixelUpdates);
@@ -333,6 +446,12 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
             } else {
                 for (int k = 0; k < stripes; ++k)
                     run_stripe(s, color, k, temperature);
+            }
+            // Color-phase join: land the stripe-boundary dirty marks
+            // before the next phase reads the affected rows.
+            if (cache) {
+                for (std::vector<std::uint64_t> &d : deferredMarks)
+                    cache->applyDeferred(d);
             }
             // Merge trace counters at the phase barrier so the trace
             // totals are exact after every sweep.
@@ -361,7 +480,8 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
             telemetry.recordSweep(s, temperature,
                                   trace->energyPerSweep.back(),
                                   trace->pixelUpdates,
-                                  trace->labelChanges, cum);
+                                  trace->labelChanges, cum,
+                                  cache ? &cache->stats() : nullptr);
         }
         if (config_.sweepObserver)
             config_.sweepObserver(s, temperature, labels);
@@ -379,6 +499,9 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
     reg.add(ids.sweeps,
             static_cast<std::uint64_t>(config_.annealing.sweeps -
                                        start_sweep));
+
+    if (cache)
+        detail::foldCacheStats(cache->stats());
 
     // Fold every stripe clone's instrumentation counters back into
     // the caller's sampler so striped runs report the same totals

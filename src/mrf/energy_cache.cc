@@ -1,0 +1,171 @@
+#include "mrf/energy_cache.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace mrf {
+
+EnergyPlaneCache::EnergyPlaneCache(int width, int height,
+                                   int numLabels, int phases)
+    : width_(width), height_(height), m_(numLabels), phases_(phases)
+{
+    RETSIM_ASSERT(width >= 1 && height >= 1, "bad cache dimensions");
+    RETSIM_ASSERT(phases == 1 || phases == 2,
+                  "cache supports 1 (raster) or 2 (checkerboard) "
+                  "phases");
+    RETSIM_ASSERT(numLabels >= 1 && numLabels <= 256,
+                  "shadow label plane needs m <= 256, got ",
+                  numLabels);
+    pixelsPerSlab_ =
+        phases == 1 ? static_cast<std::size_t>(width)
+                    : static_cast<std::size_t>((width + 1) / 2);
+    wordsPerSlab_ = (pixelsPerSlab_ + 63) / 64;
+    slabStride_ = pixelsPerSlab_ * static_cast<std::size_t>(m_);
+    const std::size_t slabs =
+        static_cast<std::size_t>(height) * phases;
+    plane_.assign(slabs * slabStride_, 0.0f);
+    dirty_.assign(slabs * wordsPerSlab_, 0);
+    shadow_.assign(static_cast<std::size_t>(width) * height, 0);
+    reset();
+}
+
+void
+EnergyPlaneCache::reset()
+{
+    std::fill(dirty_.begin(), dirty_.end(), ~std::uint64_t{0});
+    ++stats_.rebuilds;
+}
+
+void
+EnergyPlaneCache::syncShadow(const img::LabelMap &labels)
+{
+    const std::vector<int> &src = labels.data();
+    for (std::size_t i = 0; i < src.size(); ++i)
+        shadow_[i] = static_cast<std::uint8_t>(src[i]);
+    ++stats_.shadowSyncs;
+}
+
+void
+EnergyPlaneCache::markFlip(int x, int y, Neighborhood neighborhood,
+                           int rowLo, int rowHi,
+                           std::vector<std::uint64_t> *deferred)
+{
+    auto touch = [&](int nx, int ny) {
+        if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_)
+            return;
+        if (ny < rowLo || ny >= rowHi) {
+            // Stripe-boundary row: hand the mark to the coordinator
+            // for the color-phase join instead of racing the owner.
+            deferred->push_back(
+                (static_cast<std::uint64_t>(nx) << 32) |
+                static_cast<std::uint32_t>(ny));
+            return;
+        }
+        mark(nx, ny);
+    };
+    touch(x, y);
+    touch(x - 1, y);
+    touch(x + 1, y);
+    touch(x, y - 1);
+    touch(x, y + 1);
+    if (neighborhood == Neighborhood::Eight) {
+        touch(x - 1, y - 1);
+        touch(x + 1, y - 1);
+        touch(x - 1, y + 1);
+        touch(x + 1, y + 1);
+    }
+}
+
+void
+EnergyPlaneCache::applyDeferred(std::vector<std::uint64_t> &deferred)
+{
+    for (std::uint64_t p : deferred)
+        mark(static_cast<int>(p >> 32),
+             static_cast<int>(p & 0xffffffffu));
+    deferred.clear();
+}
+
+int
+EnergyPlaneCache::refreshRow(const MrfProblem &problem,
+                             const img::LabelMap &labels, int y,
+                             int color)
+{
+    const int n = phasePixels(y, color);
+    if (n == 0)
+        return 0;
+    const std::size_t base = slab(y, color) * wordsPerSlab_;
+    const std::uint64_t *dw = dirty_.data() + base;
+    float *pl = plane_.data() + slab(y, color) * slabStride_;
+    const int x0 = phases_ == 1 ? 0 : (y + color) & 1;
+    const int xStep = phases_ == 1 ? 1 : 2;
+
+    auto next_set = [&](int from) {
+        std::size_t w = static_cast<std::size_t>(from) >> 6;
+        std::uint64_t word = dw[w] & (~std::uint64_t{0} << (from & 63));
+        while (word == 0) {
+            if (++w >= wordsPerSlab_)
+                return n;
+            word = dw[w];
+        }
+        const int b = static_cast<int>(w * 64) +
+                      std::countr_zero(word);
+        return b < n ? b : n;
+    };
+    auto next_clear = [&](int from) {
+        std::size_t w = static_cast<std::size_t>(from) >> 6;
+        std::uint64_t word =
+            ~dw[w] & (~std::uint64_t{0} << (from & 63));
+        while (word == 0) {
+            if (++w >= wordsPerSlab_)
+                return n;
+            word = ~dw[w];
+        }
+        const int b = static_cast<int>(w * 64) +
+                      std::countr_zero(word);
+        return b < n ? b : n;
+    };
+
+    int recomputed = 0;
+    int i = next_set(0);
+    while (i < n) {
+        const int j = next_clear(i);
+        problem.conditionalEnergiesRun(labels, shadow_.data(), y, x0,
+                                       xStep, i, j - i, pl);
+        recomputed += j - i;
+        i = j < n ? next_set(j) : n;
+    }
+    stats_.recomputed.fetch_add(static_cast<std::uint64_t>(recomputed),
+                                std::memory_order_relaxed);
+    stats_.cleanHits.fetch_add(static_cast<std::uint64_t>(n - recomputed),
+                               std::memory_order_relaxed);
+    return n;
+}
+
+const float *
+EnergyPlaneCache::pixelEnergies(const MrfProblem &problem,
+                                const img::LabelMap &labels, int x,
+                                int y)
+{
+    const std::size_t base = slab(y, 0) * wordsPerSlab_;
+    std::uint64_t &word =
+        dirty_[base + (static_cast<std::size_t>(x) >> 6)];
+    const std::uint64_t bit = std::uint64_t{1} << (x & 63);
+    float *pl = plane_.data() + slab(y, 0) * slabStride_ +
+                static_cast<std::size_t>(x) * m_;
+    if (word & bit) {
+        problem.conditionalEnergies(
+            labels, x, y,
+            std::span<float>(pl, static_cast<std::size_t>(m_)));
+        word &= ~bit;
+        stats_.recomputed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        stats_.cleanHits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return pl;
+}
+
+} // namespace mrf
+} // namespace retsim

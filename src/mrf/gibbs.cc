@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "mrf/checkpoint.hh"
+#include "mrf/energy_cache.hh"
 #include "mrf/solver_telemetry.hh"
 #include "obs/metrics.hh"
 #include "util/logging.hh"
@@ -97,14 +98,34 @@ GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
     const std::uint64_t start_updates = trace ? trace->pixelUpdates : 0;
     const std::uint64_t start_changes = trace ? trace->labelChanges : 0;
 
+    // Flip-aware energy-plane cache (see energy_cache.hh): serve each
+    // pixel's conditional energies from the sweep-persistent plane
+    // unless a neighborhood label write dirtied it.  Byte-identical
+    // to the uncached path; m > 256 falls back (no shadow labels).
+    std::unique_ptr<EnergyPlaneCache> cache;
+    if (config_.energyCache && m <= 256)
+        cache = std::make_unique<EnergyPlaneCache>(
+            problem.width(), problem.height(), m, /*phases=*/1);
+
     auto update_pixel = [&](int x, int y, double temperature) {
-        problem.conditionalEnergies(labels, x, y, energies);
+        std::span<const float> e;
+        if (cache) {
+            e = std::span<const float>(
+                cache->pixelEnergies(problem, labels, x, y),
+                static_cast<std::size_t>(m));
+        } else {
+            problem.conditionalEnergies(labels, x, y, energies);
+            e = std::span<const float>(energies.data(),
+                                       energies.size());
+        }
         int current = labels(x, y);
-        int chosen =
-            sampler.sample(energies, temperature, current, gen);
+        int chosen = sampler.sample(e, temperature, current, gen);
         RETSIM_ASSERT(chosen >= 0 && chosen < m,
                       "sampler returned invalid label ", chosen);
         labels(x, y) = chosen;
+        if (cache && chosen != current)
+            cache->markFlip(x, y, problem.neighborhood(), 0,
+                            problem.height(), nullptr);
         if (trace) {
             ++trace->pixelUpdates;
             if (chosen != current)
@@ -145,7 +166,8 @@ GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
                                   trace->energyPerSweep.back(),
                                   trace->pixelUpdates,
                                   trace->labelChanges,
-                                  sampler.stats());
+                                  sampler.stats(),
+                                  cache ? &cache->stats() : nullptr);
         }
         if (config_.sweepObserver)
             config_.sweepObserver(s, temperature, labels);
@@ -186,6 +208,8 @@ GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
             reg.add(ids.labelChanges,
                     trace->labelChanges - start_changes);
         }
+        if (cache)
+            detail::foldCacheStats(cache->stats());
     }
     return labels;
 }

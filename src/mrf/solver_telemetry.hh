@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "mrf/energy_cache.hh"
 #include "mrf/problem.hh"
 #include "mrf/sampler.hh"
 #include "obs/metrics.hh"
@@ -36,6 +37,11 @@ struct SolverMetricIds
     obs::MetricId labelChanges;
     obs::MetricId lutHits;   ///< maintained by core::LambdaLutCache
     obs::MetricId lutMisses; ///< maintained by core::LambdaLutCache
+    obs::MetricId cacheHits;          ///< energy planes served clean
+    obs::MetricId cacheRecomputed;    ///< energy planes recomputed
+    obs::MetricId cacheInvalidations; ///< dirty marks written
+    obs::MetricId cacheRebuilds;      ///< all-dirty plane resets
+    obs::MetricId cacheShadowSyncs;   ///< full shadow-plane syncs
 
     static const SolverMetricIds &get()
     {
@@ -48,11 +54,29 @@ struct SolverMetricIds
                 r.counter("mrf.solver.label_changes"),
                 r.counter("core.lambda_lut.hits"),
                 r.counter("core.lambda_lut.misses"),
+                r.counter("mrf.energy_cache.clean_hits"),
+                r.counter("mrf.energy_cache.recomputed"),
+                r.counter("mrf.energy_cache.invalidations"),
+                r.counter("mrf.energy_cache.rebuilds"),
+                r.counter("mrf.energy_cache.shadow_syncs"),
             };
         }();
         return ids;
     }
 };
+
+/** Fold a finished run's energy-cache traffic into the registry. */
+inline void
+foldCacheStats(const EnergyCacheStats &s)
+{
+    const SolverMetricIds &ids = SolverMetricIds::get();
+    obs::Registry &reg = obs::Registry::global();
+    reg.add(ids.cacheHits, s.cleanHits);
+    reg.add(ids.cacheRecomputed, s.recomputed);
+    reg.add(ids.cacheInvalidations, s.invalidations);
+    reg.add(ids.cacheRebuilds, s.rebuilds);
+    reg.add(ids.cacheShadowSyncs, s.shadowSyncs);
+}
 
 /**
  * One instance per solver run; snapshots the cumulative counters at
@@ -98,7 +122,8 @@ class SweepTelemetry
     void recordSweep(int sweep, double temperature, double energy,
                      std::uint64_t cum_updates,
                      std::uint64_t cum_changes,
-                     const SamplerStats &cum)
+                     const SamplerStats &cum,
+                     const EnergyCacheStats *cache = nullptr)
     {
         if (!rec_)
             return;
@@ -120,18 +145,40 @@ class SweepTelemetry
         double den = updates > 0 ? static_cast<double>(updates) : 1.0;
         double sden =
             d.samples > 0 ? static_cast<double>(d.samples) : 1.0;
-        rec_->record(
-            stream_,
-            {{"sweep", static_cast<double>(sweep)},
-             {"temperature", temperature},
-             {"energy", energy},
-             {"pixel_updates", static_cast<double>(updates)},
-             {"label_changes", static_cast<double>(changes)},
-             {"accept_rate", static_cast<double>(changes) / den},
-             {"no_sample_rate", static_cast<double>(d.noSample) / sden},
-             {"tie_rate", static_cast<double>(d.ties) / sden},
-             {"lut_hits", static_cast<double>(d_hits)},
-             {"lut_misses", static_cast<double>(d_misses)}});
+        std::vector<obs::Field> fields{
+            {"sweep", static_cast<double>(sweep)},
+            {"temperature", temperature},
+            {"energy", energy},
+            {"pixel_updates", static_cast<double>(updates)},
+            {"label_changes", static_cast<double>(changes)},
+            {"accept_rate", static_cast<double>(changes) / den},
+            {"no_sample_rate", static_cast<double>(d.noSample) / sden},
+            {"tie_rate", static_cast<double>(d.ties) / sden},
+            {"lut_hits", static_cast<double>(d_hits)},
+            {"lut_misses", static_cast<double>(d_misses)}};
+        if (cache) {
+            // Per-sweep cache traffic, differenced like the sampler
+            // counters; hit rate over the planes served this sweep.
+            std::uint64_t ch = cache->cleanHits - lastCacheHits_;
+            std::uint64_t cr = cache->recomputed - lastCacheRecomputed_;
+            std::uint64_t ci =
+                cache->invalidations - lastCacheInvalidations_;
+            lastCacheHits_ = cache->cleanHits;
+            lastCacheRecomputed_ = cache->recomputed;
+            lastCacheInvalidations_ = cache->invalidations;
+            double served = static_cast<double>(ch + cr);
+            fields.push_back(
+                {"energy_cache_hits", static_cast<double>(ch)});
+            fields.push_back(
+                {"energy_cache_recomputed", static_cast<double>(cr)});
+            fields.push_back({"energy_cache_invalidations",
+                              static_cast<double>(ci)});
+            fields.push_back(
+                {"energy_cache_hit_rate",
+                 served > 0.0 ? static_cast<double>(ch) / served
+                              : 0.0});
+        }
+        rec_->record(stream_, fields);
     }
 
   private:
@@ -142,6 +189,9 @@ class SweepTelemetry
     std::uint64_t lastChanges_ = 0;
     std::uint64_t lastLutHits_ = 0;
     std::uint64_t lastLutMisses_ = 0;
+    std::uint64_t lastCacheHits_ = 0;
+    std::uint64_t lastCacheRecomputed_ = 0;
+    std::uint64_t lastCacheInvalidations_ = 0;
 };
 
 } // namespace detail

@@ -95,22 +95,76 @@ quantizeGatherRates(const float *e, double top, bool subtract_min,
 void
 quantizeClassifyRow(const float *e, double top, bool subtract_min,
                     const std::uint8_t *cls, std::size_t n,
-                    std::size_t m, std::uint64_t *out)
+                    std::size_t m, std::uint64_t *out,
+                    std::uint64_t *qpacked, std::size_t q_stride)
 {
     if (m == 16 && top < 16777216.0) {
         // The intrinsic core handles full-width pixels; top < 2^24
         // keeps the float-domain clamp bound exact.
-        for (std::size_t p = 0; p < n; ++p)
+        for (std::size_t p = 0; p < n; ++p) {
+            std::uint64_t *qp =
+                qpacked ? qpacked + p * q_stride : nullptr;
             detail::quantizeClassify16Avx2(
                 e + p * 16, top, subtract_min, cls, out[3 * p],
-                out[3 * p + 1], out[3 * p + 2]);
+                out[3 * p + 1], out[3 * p + 2], qp,
+                qp ? qp + 1 : nullptr);
+        }
         return;
     }
-    for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t p = 0; p < n; ++p) {
+        std::uint64_t *qp =
+            qpacked ? qpacked + p * q_stride : nullptr;
         detail::quantizeClassifyT<VAvx2>(e + p * m, top, subtract_min,
                                       cls, m, out[3 * p],
                                       out[3 * p + 1],
-                                      out[3 * p + 2]);
+                                      out[3 * p + 2], qp,
+                                      qp ? qp + 1 : nullptr);
+    }
+}
+
+void
+classifyPackedRow(const std::uint64_t *qpacked, std::size_t q_stride,
+                  const std::uint8_t *cls, std::size_t n,
+                  std::size_t m, std::uint64_t *out)
+{
+    if (m == 16) {
+        for (std::size_t p = 0; p < n; ++p)
+            detail::classifyPacked16Avx2(
+                qpacked[p * q_stride], qpacked[p * q_stride + 1],
+                cls, out[3 * p], out[3 * p + 1], out[3 * p + 2]);
+        return;
+    }
+    for (std::size_t p = 0; p < n; ++p)
+        detail::classifyPackedT(qpacked[p * q_stride],
+                                qpacked[p * q_stride + 1], cls, m,
+                                out[3 * p], out[3 * p + 1],
+                                out[3 * p + 2]);
+}
+
+void
+classifyRangeRow(const RangeClassifier &rc,
+                 const std::uint64_t *qpacked, std::size_t q_stride,
+                 std::size_t n, std::size_t m, std::uint64_t *out)
+{
+    detail::classifyRangeRowSse(rc, qpacked, q_stride, n, m, out);
+}
+
+void
+energyRunU8(const float *s, std::size_t s_step, const float *pair,
+            std::size_t m, const std::uint8_t *left,
+            const std::uint8_t *right, const std::uint8_t *up,
+            const std::uint8_t *down, std::size_t idx_step,
+            std::size_t count, float *out)
+{
+    detail::energyRunU8T<VAvx2>(s, s_step, pair, m, left, right, up,
+                                down, idx_step, count, out);
+}
+
+void
+gibbsWeightsRow(const float *e, std::size_t n, std::size_t m,
+                double temperature, double *w)
+{
+    detail::gibbsWeightsRowT<VAvx2>(e, n, m, temperature, w);
 }
 
 } // namespace
@@ -125,7 +179,9 @@ tableAvx2()
                                addRows5,      argmin,      quantizeEnergies,      expDrawBin,
                                ttfBins,
                                gatherRates,   quantizeGatherRates,
-                               quantizeClassifyRow};
+                               quantizeClassifyRow, classifyPackedRow,
+                               classifyRangeRow,
+                               energyRunU8,   gibbsWeightsRow};
     return t;
 }
 

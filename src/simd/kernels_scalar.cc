@@ -96,13 +96,56 @@ quantizeGatherRates(const float *e, double top, bool subtract_min,
 void
 quantizeClassifyRow(const float *e, double top, bool subtract_min,
                     const std::uint8_t *cls, std::size_t n,
-                    std::size_t m, std::uint64_t *out)
+                    std::size_t m, std::uint64_t *out,
+                    std::uint64_t *qpacked, std::size_t q_stride)
 {
-    for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t p = 0; p < n; ++p) {
+        std::uint64_t *qp =
+            qpacked ? qpacked + p * q_stride : nullptr;
         detail::quantizeClassifyT<VScalar>(e + p * m, top, subtract_min,
                                       cls, m, out[3 * p],
                                       out[3 * p + 1],
-                                      out[3 * p + 2]);
+                                      out[3 * p + 2], qp,
+                                      qp ? qp + 1 : nullptr);
+    }
+}
+
+void
+classifyPackedRow(const std::uint64_t *qpacked, std::size_t q_stride,
+                  const std::uint8_t *cls, std::size_t n,
+                  std::size_t m, std::uint64_t *out)
+{
+    for (std::size_t p = 0; p < n; ++p)
+        detail::classifyPackedT(qpacked[p * q_stride],
+                                qpacked[p * q_stride + 1], cls, m,
+                                out[3 * p], out[3 * p + 1],
+                                out[3 * p + 2]);
+}
+
+void
+classifyRangeRow(const RangeClassifier &rc,
+                 const std::uint64_t *qpacked, std::size_t q_stride,
+                 std::size_t n, std::size_t m, std::uint64_t *out)
+{
+    detail::classifyRangeRowT(rc, qpacked, q_stride, n, m, out);
+}
+
+void
+energyRunU8(const float *s, std::size_t s_step, const float *pair,
+            std::size_t m, const std::uint8_t *left,
+            const std::uint8_t *right, const std::uint8_t *up,
+            const std::uint8_t *down, std::size_t idx_step,
+            std::size_t count, float *out)
+{
+    detail::energyRunU8T<VScalar>(s, s_step, pair, m, left, right, up,
+                                  down, idx_step, count, out);
+}
+
+void
+gibbsWeightsRow(const float *e, std::size_t n, std::size_t m,
+                double temperature, double *w)
+{
+    detail::gibbsWeightsRowT<VScalar>(e, n, m, temperature, w);
 }
 
 } // namespace
@@ -117,7 +160,9 @@ tableScalar()
                                addRows5,        argmin,        quantizeEnergies,        expDrawBin,
                                ttfBins,
                                gatherRates,   quantizeGatherRates,
-                               quantizeClassifyRow};
+                               quantizeClassifyRow, classifyPackedRow,
+                               classifyRangeRow,
+                               energyRunU8,   gibbsWeightsRow};
     return t;
 }
 

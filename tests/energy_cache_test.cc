@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the flip-aware incremental energy-plane cache.
+ *
+ * The cache is a pure throughput knob: with energyCache on, every
+ * solver must produce byte-identical labels, traces and sampler state
+ * to the uncached run — across both solvers, serial and striped
+ * execution, 4- and 8-neighborhoods, every sampler (including the RSU
+ * packed fast path and its per-pixel quantize/classify row cache),
+ * tie-break modes, boundary-heavy tiny grids, and label alphabets
+ * wide enough to leave the packed lane.  On top of the equivalence
+ * sweep: the cache must actually engage (clean-hit counters advance),
+ * and a run killed and resumed with the cache on must replay to the
+ * same bytes as an uninterrupted run with the cache off (cache state
+ * is per-run, never checkpointed).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/denoising.hh"
+#include "core/sampler_cdf.hh"
+#include "core/sampler_rsu.hh"
+#include "core/sampler_software.hh"
+#include "img/synthetic.hh"
+#include "mrf/checkerboard.hh"
+#include "mrf/checkpoint.hh"
+#include "mrf/gibbs.hh"
+#include "mrf/problem.hh"
+#include "obs/metrics.hh"
+#include "rng/rng.hh"
+
+namespace {
+
+using namespace retsim;
+using namespace retsim::core;
+
+/** Potts problem with randomized singletons; tie-prone integer costs
+ *  keep the RSU quantizer honest. */
+mrf::MrfProblem
+randomProblem(int w, int h, int m, std::uint64_t seed,
+              mrf::Neighborhood nb = mrf::Neighborhood::Four)
+{
+    mrf::MrfProblem p(w, h,
+                      mrf::PairwiseTable(mrf::DistanceKind::Binary, m,
+                                         2.5),
+                      "cachetest", nb);
+    rng::Xoshiro256 gen(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            for (int l = 0; l < m; ++l)
+                p.singleton(x, y, l) = static_cast<float>(
+                    gen.nextBounded(2) ? gen.nextDouble() * 40.0
+                                       : gen.nextBounded(6));
+    return p;
+}
+
+mrf::SolverConfig
+annealConfig(int sweeps, std::uint64_t seed)
+{
+    mrf::SolverConfig cfg;
+    cfg.annealing.sweeps = sweeps;
+    cfg.annealing.t0 = 8.0;
+    cfg.annealing.tEnd = 0.5;
+    cfg.seed = seed;
+    return cfg;
+}
+
+struct RunResult
+{
+    std::vector<int> labels;
+    mrf::SolverTrace trace;
+    std::vector<std::uint64_t> samplerState;
+};
+
+enum class Kind { Gibbs, Checkerboard };
+
+template <typename MakeSampler>
+RunResult
+runOnce(Kind kind, const mrf::MrfProblem &p, MakeSampler make,
+        mrf::SolverConfig cfg, bool cache)
+{
+    cfg.energyCache = cache;
+    auto sampler = make();
+    RunResult r;
+    img::LabelMap out =
+        kind == Kind::Gibbs
+            ? mrf::GibbsSolver(cfg).run(p, *sampler, &r.trace)
+            : mrf::CheckerboardGibbsSolver(cfg).run(p, *sampler,
+                                                    &r.trace);
+    r.labels = out.data();
+    sampler->saveState(r.samplerState);
+    return r;
+}
+
+/** Run cache-on vs cache-off on fresh sampler instances and demand
+ *  byte-identity of labels, trace and checkpointed sampler state. */
+template <typename MakeSampler>
+void
+expectCacheTransparent(Kind kind, const mrf::MrfProblem &p,
+                       MakeSampler make, const mrf::SolverConfig &cfg,
+                       const char *what)
+{
+    RunResult on = runOnce(kind, p, make, cfg, true);
+    RunResult off = runOnce(kind, p, make, cfg, false);
+    EXPECT_EQ(on.labels, off.labels) << what << ": label divergence";
+    EXPECT_EQ(on.trace.energyPerSweep, off.trace.energyPerSweep)
+        << what << ": per-sweep energy divergence";
+    EXPECT_EQ(on.trace.labelChanges, off.trace.labelChanges)
+        << what << ": flip-count divergence";
+    EXPECT_EQ(on.trace.pixelUpdates, off.trace.pixelUpdates)
+        << what << ": update-count divergence";
+    EXPECT_EQ(on.samplerState, off.samplerState)
+        << what << ": sampler state divergence";
+}
+
+// ------------------------------------------------- raster/random scan
+
+TEST(EnergyCache, GibbsSolverFourAndEightNeighborhood)
+{
+    for (auto nb :
+         {mrf::Neighborhood::Four, mrf::Neighborhood::Eight}) {
+        mrf::MrfProblem p = randomProblem(17, 13, 8, 41, nb);
+        const char *what = nb == mrf::Neighborhood::Four
+                               ? "gibbs/four"
+                               : "gibbs/eight";
+        expectCacheTransparent(
+            Kind::Gibbs, p,
+            [] { return std::make_unique<SoftwareSampler>(); },
+            annealConfig(6, 9), what);
+        expectCacheTransparent(
+            Kind::Gibbs, p,
+            [] {
+                return std::make_unique<RsuSampler>(
+                    RsuConfig::newDesign());
+            },
+            annealConfig(6, 9), what);
+    }
+}
+
+TEST(EnergyCache, GibbsSolverRandomScan)
+{
+    mrf::MrfProblem p = randomProblem(14, 19, 6, 77);
+    mrf::SolverConfig cfg = annealConfig(5, 31);
+    cfg.randomScan = true;
+    expectCacheTransparent(
+        Kind::Gibbs, p,
+        [] { return std::make_unique<SoftwareSampler>(); }, cfg,
+        "gibbs/random-scan");
+}
+
+// --------------------------------------------- chromatic serial path
+
+TEST(EnergyCache, CheckerboardSerialAllSamplers)
+{
+    mrf::MrfProblem p = randomProblem(31, 23, 12, 5); // odd width:
+                                                      // both phases
+                                                      // hit the edge
+    const mrf::SolverConfig cfg = annealConfig(6, 91);
+    expectCacheTransparent(
+        Kind::Checkerboard, p,
+        [] { return std::make_unique<SoftwareSampler>(); }, cfg,
+        "cb/software");
+    expectCacheTransparent(
+        Kind::Checkerboard, p,
+        [] {
+            return std::make_unique<CdfLutSampler>(
+                std::make_unique<rng::Mt19937>(7), 64);
+        },
+        cfg, "cb/cdf-lut");
+    expectCacheTransparent(
+        Kind::Checkerboard, p,
+        [] {
+            return std::make_unique<RsuSampler>(RsuConfig::newDesign());
+        },
+        cfg, "cb/rsu-race");
+    expectCacheTransparent(
+        Kind::Checkerboard, p,
+        [] {
+            RsuConfig rc = RsuConfig::newDesign();
+            rc.raceMode = RaceMode::FastPath;
+            return std::make_unique<RsuSampler>(rc);
+        },
+        cfg, "cb/rsu-fastpath");
+}
+
+TEST(EnergyCache, CheckerboardRsuTieBreaks)
+{
+    mrf::MrfProblem p = randomProblem(20, 20, 16, 123);
+    const mrf::SolverConfig cfg = annealConfig(5, 17);
+    for (TieBreak tb :
+         {TieBreak::Random, TieBreak::First, TieBreak::Last}) {
+        RsuConfig rc = RsuConfig::newDesign();
+        rc.tieBreak = tb;
+        rc.raceMode = RaceMode::FastPath;
+        expectCacheTransparent(
+            Kind::Checkerboard, p,
+            [rc] { return std::make_unique<RsuSampler>(rc); }, cfg,
+            "cb/tie-break");
+    }
+}
+
+// ------------------------------------------------------ striped path
+
+TEST(EnergyCache, CheckerboardStripedMatchesUncached)
+{
+    mrf::MrfProblem p = randomProblem(30, 29, 10, 55);
+    for (int threads : {1, 3}) {
+        mrf::SolverConfig cfg = annealConfig(5, 23);
+        cfg.threads = threads;
+        cfg.stripes = 4;
+        expectCacheTransparent(
+            Kind::Checkerboard, p,
+            [] { return std::make_unique<SoftwareSampler>(); }, cfg,
+            "striped/software");
+        expectCacheTransparent(
+            Kind::Checkerboard, p,
+            [] {
+                RsuConfig rc = RsuConfig::newDesign();
+                rc.raceMode = RaceMode::FastPath;
+                return std::make_unique<RsuSampler>(rc);
+            },
+            cfg, "striped/rsu-fastpath");
+    }
+}
+
+TEST(EnergyCache, StripedManyThinStripesStressBoundaryMarks)
+{
+    // Height 16 with 8 stripes: every stripe is 2 rows, so almost
+    // every flip defers a dirty mark across a stripe boundary.
+    mrf::MrfProblem p = randomProblem(12, 16, 6, 301);
+    mrf::SolverConfig cfg = annealConfig(6, 3);
+    cfg.threads = 4;
+    cfg.stripes = 8;
+    expectCacheTransparent(
+        Kind::Checkerboard, p,
+        [] { return std::make_unique<SoftwareSampler>(); }, cfg,
+        "striped/thin");
+}
+
+// -------------------------------------------------- boundary shapes
+
+TEST(EnergyCache, TinyAndDegenerateGrids)
+{
+    struct Shape
+    {
+        int w, h;
+    };
+    for (Shape s : {Shape{1, 1}, Shape{2, 2}, Shape{1, 7}, Shape{9, 1},
+                    Shape{3, 3}}) {
+        mrf::MrfProblem p = randomProblem(s.w, s.h, 4, 1000 + s.w);
+        const mrf::SolverConfig cfg = annealConfig(4, 7);
+        expectCacheTransparent(
+            Kind::Gibbs, p,
+            [] { return std::make_unique<SoftwareSampler>(); }, cfg,
+            "tiny/gibbs");
+        expectCacheTransparent(
+            Kind::Checkerboard, p,
+            [] { return std::make_unique<SoftwareSampler>(); }, cfg,
+            "tiny/cb");
+    }
+}
+
+TEST(EnergyCache, WideAlphabetLeavesPackedLane)
+{
+    // 24 labels: the RSU packed lane (m <= 16) is out, so the sampler
+    // publishes no row cache and the solver runs energy caching only.
+    mrf::MrfProblem p = randomProblem(15, 11, 24, 67);
+    const mrf::SolverConfig cfg = annealConfig(5, 13);
+    expectCacheTransparent(
+        Kind::Checkerboard, p,
+        [] {
+            RsuConfig rc = RsuConfig::newDesign();
+            rc.raceMode = RaceMode::FastPath;
+            return std::make_unique<RsuSampler>(rc);
+        },
+        cfg, "wide/rsu");
+    expectCacheTransparent(
+        Kind::Checkerboard, p,
+        [] {
+            return std::make_unique<CdfLutSampler>(
+                std::make_unique<rng::Mt19937>(3), 64);
+        },
+        cfg, "wide/cdf-lut");
+}
+
+// ------------------------------------------------- cache must engage
+
+TEST(EnergyCache, CountersAdvanceWhenEnabled)
+{
+    obs::Registry &reg = obs::Registry::global();
+    const obs::MetricId hits =
+        reg.counter("mrf.energy_cache.clean_hits");
+    const obs::MetricId invals =
+        reg.counter("mrf.energy_cache.invalidations");
+    const obs::MetricId rebuilds =
+        reg.counter("mrf.energy_cache.rebuilds");
+    const std::uint64_t h0 = reg.counterValue(hits);
+    const std::uint64_t i0 = reg.counterValue(invals);
+    const std::uint64_t r0 = reg.counterValue(rebuilds);
+
+    mrf::MrfProblem p = randomProblem(24, 24, 8, 99);
+    mrf::SolverConfig cfg = annealConfig(8, 21);
+    SoftwareSampler s;
+    mrf::CheckerboardGibbsSolver(cfg).run(p, s);
+
+    // Past the first sweep the anneal cools and flips get rare, so a
+    // working cache must serve clean planes and record dirty marks.
+    EXPECT_GT(reg.counterValue(hits), h0) << "no clean hits: the "
+                                             "cache never engaged";
+    EXPECT_GT(reg.counterValue(invals), i0);
+    EXPECT_GT(reg.counterValue(rebuilds), r0);
+}
+
+// ------------------------------------------ resume crosses the knob
+
+TEST(EnergyCache, ResumeWithCacheOnReplaysCacheOffRun)
+{
+    // Kill at sweep 4 with the cache ON, resume with the cache ON,
+    // and demand the final snapshot equal an uninterrupted run with
+    // the cache OFF: cache state is per-run and never serialized, so
+    // the knob must not leak into the replay contract.
+    const int sweeps = 10, kill_at = 4;
+    mrf::MrfProblem p = randomProblem(18, 15, 6, 8);
+
+    auto run = [&](bool cache, bool resume_from_mid,
+                   std::shared_ptr<const mrf::SolverCheckpoint> mid,
+                   mrf::SolverCheckpoint *mid_out) {
+        mrf::SolverConfig cfg = annealConfig(sweeps, 77);
+        cfg.energyCache = cache;
+        cfg.checkpointEvery = kill_at;
+        std::vector<unsigned char> final_bytes;
+        cfg.checkpointSink =
+            [&](const mrf::SolverCheckpoint &cp) {
+                if (mid_out && cp.sweepsDone == kill_at)
+                    *mid_out = cp;
+                if (cp.sweepsDone == cp.sweepsTotal)
+                    final_bytes = cp.serialize();
+            };
+        if (resume_from_mid)
+            cfg.resume = std::move(mid);
+        SoftwareSampler s;
+        mrf::CheckerboardGibbsSolver(cfg).run(p, s);
+        return final_bytes;
+    };
+
+    mrf::SolverCheckpoint mid;
+    const auto whole_on = run(true, false, nullptr, &mid);
+    const auto whole_off = run(false, false, nullptr, nullptr);
+    ASSERT_FALSE(whole_on.empty());
+    ASSERT_EQ(whole_on, whole_off)
+        << "cache changed the uninterrupted run";
+
+    auto restored = std::make_shared<mrf::SolverCheckpoint>();
+    std::string error;
+    ASSERT_TRUE(mrf::SolverCheckpoint::deserialize(
+        mid.serialize(), restored.get(), &error))
+        << error;
+    const auto resumed = run(true, true, std::move(restored), nullptr);
+    EXPECT_EQ(resumed, whole_off);
+}
+
+} // namespace

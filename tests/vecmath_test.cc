@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -330,8 +331,201 @@ TEST(BackendEquivalence, AllKernelsBitIdenticalToScalar)
             ref.addRows5(s.data(), r2.data(), r3.data(), r4.data(),
                          r5.data(), o2.data(), n);
             EXPECT_EQ(o1, o2);
+
+            // Row-fused kernels: treat n as the pixel count with a
+            // fixed small alphabet.
+            const std::size_t m = 5;
+            std::vector<float> ep(n * m);
+            for (float &v : ep)
+                v = static_cast<float>(gen.nextDouble() * 120.0);
+            std::vector<double> w1(n * m), w2(n * m);
+            k.gibbsWeightsRow(ep.data(), n, m, 2.3, w1.data());
+            ref.gibbsWeightsRow(ep.data(), n, m, 2.3, w2.data());
+            EXPECT_EQ(w1, w2);
+
+            std::vector<float> sing(n * m), pair(m * m);
+            std::vector<std::uint8_t> lf(n), rt(n), up(n), dn(n);
+            for (float &v : sing)
+                v = static_cast<float>(gen.nextDouble() * 50.0);
+            for (float &v : pair)
+                v = static_cast<float>(gen.nextDouble() * 9.0);
+            for (std::size_t i = 0; i < n; ++i) {
+                lf[i] = static_cast<std::uint8_t>(gen.nextBounded(m));
+                rt[i] = static_cast<std::uint8_t>(gen.nextBounded(m));
+                up[i] = static_cast<std::uint8_t>(gen.nextBounded(m));
+                dn[i] = static_cast<std::uint8_t>(gen.nextBounded(m));
+            }
+            std::vector<float> f1(n * m), f2(n * m);
+            for (std::size_t step : {std::size_t{1}, std::size_t{2}}) {
+                const std::size_t cnt = step == 1 ? n : n / 2;
+                if (cnt == 0)
+                    continue;
+                k.energyRunU8(sing.data(), m, pair.data(), m,
+                              lf.data(), rt.data(), up.data(),
+                              dn.data(), step, cnt, f1.data());
+                ref.energyRunU8(sing.data(), m, pair.data(), m,
+                                lf.data(), rt.data(), up.data(),
+                                dn.data(), step, cnt, f2.data());
+                EXPECT_EQ(f1, f2) << "energyRunU8 step " << step;
+            }
         }
     }
+}
+
+TEST(BackendEquivalence, PackedClassifyKernelsBitIdenticalToScalar)
+{
+    // The packed quantize/classify family behind the RSU row cache:
+    // quantizeClassifyRow (with the based-q side channel), the
+    // classifyPackedRow replay of those bytes, and the gather-free
+    // classifyRangeRow step encoding.  All three must agree with the
+    // scalar reference bit for bit on every runnable backend, the
+    // replayed bytes must reproduce the fused words exactly, and the
+    // step encoding must match the byte table it was derived from —
+    // including the m < 16 lanes the SIMD paths mask rather than
+    // skip.
+    const simd::KernelTable &ref =
+        simd::kernelsFor(simd::Backend::Scalar);
+    const double top = 255.0;
+    const std::size_t q_stride = core::RaceFastPath::kRowCacheWords;
+    rng::Xoshiro256 gen(97);
+
+    // A step classifier like bindRateTable derives: strictly
+    // decreasing class values (rates decay with energy; the union
+    // alphabet may skip values) over <= 7 random boundaries — plus
+    // the byte table it abbreviates.
+    simd::RangeClassifier rc;
+    std::vector<std::uint8_t> boundaries;
+    while (boundaries.size() < 5) {
+        const auto b =
+            static_cast<std::uint8_t>(1 + gen.nextBounded(254));
+        if (std::find(boundaries.begin(), boundaries.end(), b) ==
+            boundaries.end())
+            boundaries.push_back(b);
+    }
+    std::sort(boundaries.begin(), boundaries.end());
+    std::uint8_t vals[6] = {7, 6, 4, 3, 1, 0}; // skips like a union
+    rc.base = vals[0];
+    rc.numSteps = 5;
+    rc.numValues = 6;
+    for (std::size_t j = 0; j < 5; ++j) {
+        rc.step[j] = boundaries[j];
+        rc.delta[j] =
+            static_cast<std::uint8_t>(vals[j + 1] - vals[j]);
+    }
+    for (std::size_t j = 0; j < 6; ++j)
+        rc.value[j] = vals[j];
+    std::vector<std::uint8_t> cls(256);
+    for (std::size_t b = 0; b < 256; ++b) {
+        std::uint8_t c = rc.base;
+        for (std::size_t j = 0; j < rc.numSteps; ++j)
+            if (b >= rc.step[j])
+                c = static_cast<std::uint8_t>(c + rc.delta[j]);
+        cls[b] = c;
+    }
+
+    for (simd::Backend b : simd::runnableBackends()) {
+        SCOPED_TRACE(simd::backendName(b));
+        const simd::KernelTable &k = simd::kernelsFor(b);
+        for (std::size_t n : {std::size_t{1}, std::size_t{7},
+                              std::size_t{33}}) {
+            for (std::size_t m : {std::size_t{5}, std::size_t{11},
+                                  std::size_t{16}}) {
+                std::vector<float> e(n * m);
+                for (float &v : e)
+                    v = static_cast<float>(gen.nextDouble() * 280.0);
+                for (bool subtract_min : {false, true}) {
+                    SCOPED_TRACE(std::to_string(n) + "x" +
+                                 std::to_string(m) +
+                                 (subtract_min ? " based" : " raw"));
+                    std::vector<std::uint64_t> w1(3 * n), w2(3 * n);
+                    std::vector<std::uint64_t> q1(n * q_stride,
+                                                  0xa5a5a5a5a5a5a5a5ULL);
+                    std::vector<std::uint64_t> q2(q1);
+                    k.quantizeClassifyRow(e.data(), top, subtract_min,
+                                          cls.data(), n, m, w1.data(),
+                                          q1.data(), q_stride);
+                    ref.quantizeClassifyRow(e.data(), top,
+                                            subtract_min, cls.data(),
+                                            n, m, w2.data(),
+                                            q2.data(), q_stride);
+                    EXPECT_EQ(w1, w2);
+                    // Whole-buffer compare: the untouched stride gap
+                    // (sentinel) proves neither lane writes outside
+                    // its two q words.
+                    EXPECT_EQ(q1, q2);
+
+                    // Replaying the packed bytes must reproduce the
+                    // fused words, on this backend and on scalar.
+                    std::vector<std::uint64_t> r1(3 * n), r2(3 * n);
+                    k.classifyPackedRow(q1.data(), q_stride,
+                                        cls.data(), n, m, r1.data());
+                    ref.classifyPackedRow(q1.data(), q_stride,
+                                          cls.data(), n, m,
+                                          r2.data());
+                    EXPECT_EQ(r1, w1);
+                    EXPECT_EQ(r2, w1);
+
+                    // The step encoding is the same function as the
+                    // byte table it was derived from.
+                    std::vector<std::uint64_t> g1(3 * n), g2(3 * n);
+                    k.classifyRangeRow(rc, q1.data(), q_stride, n, m,
+                                       g1.data());
+                    ref.classifyRangeRow(rc, q1.data(), q_stride, n,
+                                         m, g2.data());
+                    EXPECT_EQ(g1, w1);
+                    EXPECT_EQ(g2, w1);
+                }
+            }
+        }
+    }
+}
+
+TEST(BackendEquivalence, RowFusedKernelsMatchTheirComposition)
+{
+    // The row-fused kernels must be bit-identical to the per-pixel
+    // compositions they replace — gibbsWeightsRow to a min scan +
+    // expWeights per pixel, energyRunU8 to addRows5 over the pairwise
+    // rows the neighbor bytes select.  Scalar is the reference table;
+    // the backend sweep above carries the identity to every lane.
+    const simd::KernelTable &k = simd::kernelsFor(simd::Backend::Scalar);
+    const std::size_t n = 23, m = 7;
+    rng::Xoshiro256 gen(417);
+    std::vector<float> ep(n * m);
+    for (float &v : ep)
+        v = static_cast<float>(gen.nextDouble() * 90.0);
+
+    std::vector<double> fused(n * m), composed(n * m);
+    k.gibbsWeightsRow(ep.data(), n, m, 1.7, fused.data());
+    for (std::size_t p = 0; p < n; ++p) {
+        float e_min = ep[p * m];
+        for (std::size_t i = 1; i < m; ++i)
+            e_min = std::min(e_min, ep[p * m + i]);
+        k.expWeights(ep.data() + p * m, static_cast<double>(e_min),
+                     1.7, composed.data() + p * m, m);
+    }
+    EXPECT_EQ(fused, composed);
+
+    std::vector<float> sing(n * m), pair(m * m);
+    std::vector<std::uint8_t> lf(n), rt(n), up(n), dn(n);
+    for (float &v : sing)
+        v = static_cast<float>(gen.nextDouble() * 40.0);
+    for (float &v : pair)
+        v = static_cast<float>(gen.nextDouble() * 6.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        lf[i] = static_cast<std::uint8_t>(gen.nextBounded(m));
+        rt[i] = static_cast<std::uint8_t>(gen.nextBounded(m));
+        up[i] = static_cast<std::uint8_t>(gen.nextBounded(m));
+        dn[i] = static_cast<std::uint8_t>(gen.nextBounded(m));
+    }
+    std::vector<float> f_fused(n * m), f_comp(n * m);
+    k.energyRunU8(sing.data(), m, pair.data(), m, lf.data(),
+                  rt.data(), up.data(), dn.data(), 1, n,
+                  f_fused.data());
+    for (std::size_t p = 0; p < n; ++p)
+        k.addRows5(sing.data() + p * m, pair.data() + lf[p] * m,
+                   pair.data() + rt[p] * m, pair.data() + up[p] * m,
+                   pair.data() + dn[p] * m, f_comp.data() + p * m, m);
+    EXPECT_EQ(f_fused, f_comp);
 }
 
 TEST(BackendEquivalence, RaceDrawsLabelsAndRngStateIdentical)
