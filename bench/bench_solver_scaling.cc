@@ -32,6 +32,7 @@
 #include "img/synthetic.hh"
 #include "mrf/checkerboard.hh"
 #include "obs/metrics.hh"
+#include "shard/shard_cli.hh"
 #include "simd/simd_cli.hh"
 
 namespace {
@@ -42,6 +43,8 @@ struct RunResult
 {
     int threads = 0;
     int stripes = 0;
+    int shards = 1;                 ///< 1 = single-process solver
+    const char *transport = "none"; ///< loopback|socket when sharded
     double seconds = 0.0;
     double pixelsPerSec = 0.0;
     double cacheHitRate = 0.0; ///< energy planes served clean
@@ -68,12 +71,16 @@ struct CacheCounters
 double
 timeSolve(const mrf::MrfProblem &problem,
           const bench::SamplerFactory &factory,
-          const mrf::SolverConfig &cfg)
+          const mrf::SolverConfig &cfg,
+          const shard::ShardOptions &shards)
 {
     auto sampler = factory();
-    mrf::CheckerboardGibbsSolver solver(cfg);
     auto start = std::chrono::steady_clock::now();
-    solver.run(problem, *sampler);
+    if (shards.shards > 1)
+        shard::ShardedCheckerboardSolver(cfg, shards)
+            .run(problem, *sampler);
+    else
+        mrf::CheckerboardGibbsSolver(cfg).run(problem, *sampler);
     std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - start;
     return dt.count();
@@ -82,15 +89,23 @@ timeSolve(const mrf::MrfProblem &problem,
 RunResult
 measure(const mrf::MrfProblem &problem,
         const bench::SamplerFactory &factory, mrf::SolverConfig cfg,
-        int threads, int stripes)
+        int threads, int stripes,
+        const shard::ShardOptions &shards = {})
 {
     cfg.threads = threads;
     cfg.stripes = stripes;
     RunResult r;
     r.threads = threads;
     r.stripes = stripes;
+    if (shards.shards > 1) {
+        r.shards = shards.shards;
+        r.transport =
+            shards.transport == shard::ShardOptions::Transport::Socket
+                ? "socket"
+                : "loopback";
+    }
     const CacheCounters before = CacheCounters::now();
-    r.seconds = timeSolve(problem, factory, cfg);
+    r.seconds = timeSolve(problem, factory, cfg, shards);
     const CacheCounters after = CacheCounters::now();
     const double served =
         static_cast<double>((after.hits - before.hits) +
@@ -108,10 +123,17 @@ measure(const mrf::MrfProblem &problem,
 void
 printRun(const RunResult &r, double serial_s)
 {
-    std::printf("  threads=%2d stripes=%2d  %8.3f s  %12.0f px/s  "
-                "cache-hit %5.1f%%  %.2fx\n",
-                r.threads, r.stripes, r.seconds, r.pixelsPerSec,
-                100.0 * r.cacheHitRate, serial_s / r.seconds);
+    if (r.shards > 1)
+        std::printf("  shards=%2d (%s) stripes=%2d  %8.3f s  "
+                    "%12.0f px/s  cache-hit %5.1f%%  %.2fx\n",
+                    r.shards, r.transport, r.stripes, r.seconds,
+                    r.pixelsPerSec, 100.0 * r.cacheHitRate,
+                    serial_s / r.seconds);
+    else
+        std::printf("  threads=%2d stripes=%2d  %8.3f s  %12.0f px/s  "
+                    "cache-hit %5.1f%%  %.2fx\n",
+                    r.threads, r.stripes, r.seconds, r.pixelsPerSec,
+                    100.0 * r.cacheHitRate, serial_s / r.seconds);
 }
 
 } // namespace
@@ -130,6 +152,11 @@ main(int argc, char **argv)
     const std::string sampler_arg = args.getString("sampler", "");
     const std::string race_arg = args.getString("race-mode", "auto");
     const bool energy_cache = args.getBool("energy-cache", true);
+    // --shards=N (with --shard-transport=loopback|socket) appends a
+    // multi-shard run per workload so sharded throughput lands in the
+    // same perf trajectory file.
+    const shard::ShardOptions shard_options =
+        shard::shardOptionsFromCli(args);
     const int hw = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
     const char *backend =
@@ -273,6 +300,9 @@ main(int argc, char **argv)
         for (int t : thread_set)
             runs.push_back(
                 measure(*w.problem, w.factory, w.cfg, t, stripes));
+        if (shard_options.shards > 1)
+            runs.push_back(measure(*w.problem, w.factory, w.cfg, 1,
+                                   stripes, shard_options));
         for (const RunResult &r : runs)
             printRun(r, serial.seconds);
 
@@ -294,11 +324,12 @@ main(int argc, char **argv)
             std::fprintf(
                 f,
                 "%s\n        {\"threads\": %d, \"stripes\": %d, "
+                "\"shards\": %d, \"transport\": \"%s\", "
                 "\"seconds\": %.6f, \"pixels_per_s\": %.1f, "
                 "\"energy_cache_hit_rate\": %.4f, "
                 "\"speedup_vs_serial\": %.3f}",
-                i == 0 ? "" : ",", r.threads, r.stripes, r.seconds,
-                r.pixelsPerSec, r.cacheHitRate,
+                i == 0 ? "" : ",", r.threads, r.stripes, r.shards,
+                r.transport, r.seconds, r.pixelsPerSec, r.cacheHitRate,
                 serial.seconds / r.seconds);
         }
         std::fprintf(f, "\n      ]\n    }");

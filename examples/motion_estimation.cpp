@@ -21,6 +21,7 @@
 #include "mrf/checkpoint_cli.hh"
 #include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
+#include "shard/shard_cli.hh"
 #include "simd/simd_cli.hh"
 #include "util/cli.hh"
 
@@ -79,8 +80,10 @@ main(int argc, char **argv)
 
     auto cfg_sw = solver;
     mrf::checkpointFromCli(args, &cfg_sw, "software");
+    shard::shardFromCli(args, &cfg_sw);
     auto cfg_rsu = solver;
     mrf::checkpointFromCli(args, &cfg_rsu, "new_rsug");
+    shard::shardFromCli(args, &cfg_rsu);
 
     auto r_sw = apps::runMotion(*scene, sw, cfg_sw);
     auto r_rsu = apps::runMotion(*scene, rsu, cfg_rsu);

@@ -27,6 +27,7 @@
 #include "mrf/checkpoint_cli.hh"
 #include "obs/telemetry_cli.hh"
 #include "img/synthetic.hh"
+#include "shard/shard_cli.hh"
 #include "simd/simd_cli.hh"
 #include "util/cli.hh"
 
@@ -100,6 +101,7 @@ main(int argc, char **argv)
     for (int i = 0; i < 3; ++i) {
         auto cfg = solver;
         mrf::checkpointFromCli(args, &cfg, variants[i].ckpt);
+        shard::shardFromCli(args, &cfg);
         auto result = apps::runStereo(scene, *samplers[i], cfg);
         std::printf("%-16s %8.2f %8.3f\n", variants[i].name,
                     result.badPixelPercent, result.rmsError);

@@ -130,10 +130,9 @@ runDenoising(const img::ImageU8 &clean, const img::ImageU8 &noisy,
                           psnrDb(levelsToImage(labels, levels), *ref)}});
         };
     }
-    mrf::GibbsSolver gibbs(cfg);
-
     DenoisingResult result;
-    img::LabelMap labels = gibbs.run(problem, sampler, &result.trace);
+    img::LabelMap labels =
+        mrf::runSolver(cfg, problem, sampler, &result.trace);
     result.restored = levelsToImage(labels, params.levels);
     result.psnrNoisy = psnrDb(noisy, clean);
     result.psnrRestored = psnrDb(result.restored, clean);

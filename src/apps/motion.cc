@@ -113,10 +113,9 @@ runMotion(const img::MotionScene &scene, mrf::LabelSampler &sampler,
                               labelsToFlow(labels, radius), *gt)}});
         };
     }
-    mrf::GibbsSolver gibbs(cfg);
-
     MotionResult result;
-    result.labels = gibbs.run(problem, sampler, &result.trace);
+    result.labels =
+        mrf::runSolver(cfg, problem, sampler, &result.trace);
     result.flow = labelsToFlow(result.labels, scene.windowRadius);
     result.endPointError =
         metrics::endPointError(result.flow, scene.gtMotion);

@@ -113,10 +113,9 @@ runSegmentation(const img::SegmentationScene &scene,
                   metrics::probabilisticRandIndex(labels, *gt)}});
         };
     }
-    mrf::GibbsSolver gibbs(cfg);
-
     SegmentationResult result;
-    result.segments = gibbs.run(problem, sampler, &result.trace);
+    result.segments =
+        mrf::runSolver(cfg, problem, sampler, &result.trace);
     result.voi = metrics::variationOfInformation(result.segments,
                                                  scene.gtSegments);
     result.pri = metrics::probabilisticRandIndex(result.segments,

@@ -73,10 +73,9 @@ runStereo(const img::StereoScene &scene, mrf::LabelSampler &sampler,
                  {"rms_error", metrics::rmsError(labels, *gt)}});
         };
     }
-    mrf::GibbsSolver gibbs(cfg);
-
     StereoResult result;
-    result.disparity = gibbs.run(problem, sampler, &result.trace);
+    result.disparity =
+        mrf::runSolver(cfg, problem, sampler, &result.trace);
     result.badPixelPercent =
         metrics::badPixelPercent(result.disparity, scene.gtDisparity);
     result.rmsError =

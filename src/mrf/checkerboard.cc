@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "mrf/checkerboard_detail.hh"
 #include "mrf/checkpoint.hh"
 #include "mrf/energy_cache.hh"
 #include "mrf/solver_telemetry.hh"
@@ -16,144 +17,15 @@
 namespace retsim {
 namespace mrf {
 
-namespace {
-
-/**
- * Seed of the RNG stream that drives one (sweep, color, stripe)
- * phase.  Chained SplitMix64 mixes keep distinct coordinates
- * decorrelated, and the derivation depends only on the solver seed and
- * the stripe decomposition — never on which thread runs the stripe.
- */
-std::uint64_t
-stripeStreamSeed(std::uint64_t seed, int sweep, int color, int stripe)
-{
-    std::uint64_t s =
-        rng::streamSeed(seed, static_cast<std::uint64_t>(sweep));
-    s = rng::streamSeed(s, static_cast<std::uint64_t>(color));
-    return rng::streamSeed(s, static_cast<std::uint64_t>(stripe));
-}
-
-/** Per-stripe trace counters, merged into SolverTrace per sweep. */
-struct StripeCounters
-{
-    std::uint64_t pixelUpdates = 0;
-    std::uint64_t labelChanges = 0;
-};
-
-/**
- * Caller-owned buffers for one executor's row batches: the energy
- * plane the problem writes and the label vectors the sampler reads
- * and fills.  Sized once for the widest possible color-phase row.
- */
-struct RowArena
-{
-    std::vector<float> energies;
-    std::vector<int> current;
-    std::vector<int> chosen;
-
-    RowArena(int width, int m)
-        : energies(static_cast<std::size_t>((width + 1) / 2) * m),
-          current(static_cast<std::size_t>((width + 1) / 2)),
-          chosen(static_cast<std::size_t>((width + 1) / 2))
-    {
-    }
-};
-
-/**
- * One executor's view of the flip-aware energy-plane cache: the
- * shared cache plus the sampler key-cache arena and this executor's
- * row-ownership range for the stripe-boundary mark exchange (see
- * energy_cache.hh).  Serial paths own the whole grid and never defer.
- */
-struct CacheSlot
-{
-    EnergyPlaneCache *cache = nullptr;
-    std::uint64_t *keys = nullptr; ///< all slabs; null if kcw == 0
-    std::size_t kcw = 0;           ///< key words per pixel
-    std::size_t keyStride = 0;     ///< key words per slab
-    int rowLo = 0;
-    int rowHi = 0;
-    std::vector<std::uint64_t> *deferred = nullptr;
-};
-
-/**
- * Update one color-phase row through the batched sampler path and
- * return the per-row counter deltas.  Same-color pixels share no
- * edges, so gathering the whole row's conditionals before any write
- * is exactly what the scalar pixel loop computed.
- *
- * With a CacheSlot the row's conditionals come from the incremental
- * plane (only dirty pixels recomputed, via the shadow-label fused
- * kernel) and the sampler runs through sampleRowCached with the
- * slab's key arena and the dirty bitset — everything downstream is
- * bit-identical to the uncached path by the sampler contract.
- */
-StripeCounters
-updateRow(const MrfProblem &problem, LabelSampler &sampler,
-          img::LabelMap &labels, int y, int color, double temperature,
-          RowArena &arena, rng::Rng &gen, CacheSlot *cs)
-{
-    StripeCounters c;
-    const int m = problem.numLabels();
-    const int x0 = (y + color) % 2;
-    int n;
-    const float *eplane;
-    if (cs) {
-        n = cs->cache->refreshRow(problem, labels, y, color);
-        eplane = cs->cache->plane(y, color);
-    } else {
-        n = problem.conditionalEnergiesRow(labels, y, x0, 2,
-                                           arena.energies);
-        eplane = arena.energies.data();
-    }
-    if (n == 0)
-        return c;
-    for (int i = 0; i < n; ++i)
-        arena.current[static_cast<std::size_t>(i)] =
-            labels(x0 + 2 * i, y);
-
-    std::span<const int> current(arena.current.data(),
-                                 static_cast<std::size_t>(n));
-    std::span<int> chosen(arena.chosen.data(),
-                          static_cast<std::size_t>(n));
-    std::span<const float> energies(eplane,
-                                    static_cast<std::size_t>(n) * m);
-    if (cs) {
-        std::span<std::uint64_t> keys;
-        if (cs->keys)
-            keys = std::span<std::uint64_t>(
-                cs->keys +
-                    (static_cast<std::size_t>(y) * 2 + color) *
-                        cs->keyStride,
-                static_cast<std::size_t>(n) * cs->kcw);
-        sampler.sampleRowCached(energies, m, temperature, current,
-                                chosen, gen, keys,
-                                cs->cache->rowDirty(y, color));
-        cs->cache->clearRow(y, color);
-    } else {
-        sampler.sampleRow(energies, m, temperature, current, chosen,
-                          gen);
-    }
-
-    for (int i = 0; i < n; ++i) {
-        const int x = x0 + 2 * i;
-        const int pick = chosen[static_cast<std::size_t>(i)];
-        labels(x, y) = pick;
-        if (pick != current[static_cast<std::size_t>(i)]) {
-            ++c.labelChanges;
-            if (cs) {
-                cs->cache->setShadow(x, y, pick);
-                cs->cache->markFlip(x, y, Neighborhood::Four,
-                                    cs->rowLo, cs->rowHi,
-                                    cs->deferred);
-            }
-        }
-    }
-    c.pixelUpdates = static_cast<std::uint64_t>(n);
-    return c;
-}
-
-} // namespace
+// The probabilistic core (per-phase RNG stream derivation, row arena,
+// cache slot, batched row update) lives in checkerboard_detail.hh,
+// shared verbatim with shard::ShardedCheckerboardSolver so the two
+// solvers can never drift apart numerically.
+using detail::CacheSlot;
+using detail::RowArena;
+using detail::StripeCounters;
+using detail::stripeStreamSeed;
+using detail::updateRow;
 
 int
 CheckerboardGibbsSolver::effectiveStripes(int height) const
@@ -402,10 +274,8 @@ CheckerboardGibbsSolver::run(const MrfProblem &problem,
 
     auto run_stripe = [&](int sweep, int color, int k,
                           double temperature) {
-        const int y0 = static_cast<int>(
-            static_cast<std::int64_t>(k) * height / stripes);
-        const int y1 = static_cast<int>(
-            static_cast<std::int64_t>(k + 1) * height / stripes);
+        const int y0 = detail::stripeRowStart(k, height, stripes);
+        const int y1 = detail::stripeRowStart(k + 1, height, stripes);
         rng::Xoshiro256 stripe_gen(
             stripeStreamSeed(config_.seed, sweep, color, k));
         LabelSampler &stripe_sampler = *workers[k];

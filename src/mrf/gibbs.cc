@@ -222,5 +222,27 @@ GibbsSolver::run(const MrfProblem &problem, LabelSampler &sampler,
     return run(problem, sampler, labels, trace);
 }
 
+img::LabelMap
+runSolver(const SolverConfig &config, const MrfProblem &problem,
+          LabelSampler &sampler, img::LabelMap &labels,
+          SolverTrace *trace)
+{
+    if (config.solverBackend) {
+        SolverConfig inner = config;
+        inner.solverBackend = nullptr;
+        return config.solverBackend(inner, problem, sampler, labels,
+                                    trace);
+    }
+    return GibbsSolver(config).run(problem, sampler, labels, trace);
+}
+
+img::LabelMap
+runSolver(const SolverConfig &config, const MrfProblem &problem,
+          LabelSampler &sampler, SolverTrace *trace)
+{
+    img::LabelMap labels(problem.width(), problem.height(), 0);
+    return runSolver(config, problem, sampler, labels, trace);
+}
+
 } // namespace mrf
 } // namespace retsim

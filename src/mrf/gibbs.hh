@@ -26,6 +26,21 @@ namespace retsim {
 namespace mrf {
 
 struct SolverCheckpoint;
+struct SolverConfig;
+struct SolverTrace;
+class LabelSampler;
+
+/**
+ * Pluggable solver entry point: runs a full anneal of @p problem into
+ * @p labels and returns the final labeling.  When a SolverConfig
+ * carries a non-empty backend, mrf::runSolver() routes the solve
+ * through it instead of the default raster GibbsSolver — the hook the
+ * shard layer uses to swap in the multi-process sharded checkerboard
+ * solver without the apps (or mrf itself) linking against it.
+ */
+using SolverBackend = std::function<img::LabelMap(
+    const SolverConfig &config, const MrfProblem &problem,
+    LabelSampler &sampler, img::LabelMap &labels, SolverTrace *trace)>;
 
 /** Geometric annealing: T(s) = t0 * ratio^s, floored at tEnd. */
 struct AnnealingSchedule
@@ -134,6 +149,13 @@ struct SolverConfig
      * the restored trace.
      */
     std::shared_ptr<const SolverCheckpoint> resume;
+    /**
+     * Optional replacement solver (see SolverBackend above).  Empty =
+     * the caller's solver choice runs unchanged.  mrf::runSolver()
+     * clears this field on the config it forwards, so a backend can
+     * itself call runSolver without recursing.
+     */
+    SolverBackend solverBackend;
 };
 
 struct SolverTrace
@@ -169,6 +191,23 @@ class GibbsSolver
   private:
     SolverConfig config_;
 };
+
+/**
+ * Run a solve through config.solverBackend when one is installed,
+ * else through the default raster GibbsSolver.  Applications call
+ * this instead of constructing a GibbsSolver directly so that CLI
+ * layers (shard/shard_cli.hh) can reroute the whole solve without the
+ * app knowing about the backend.
+ */
+img::LabelMap runSolver(const SolverConfig &config,
+                        const MrfProblem &problem, LabelSampler &sampler,
+                        img::LabelMap &labels,
+                        SolverTrace *trace = nullptr);
+
+/** Convenience overload: allocate and initialize the label map. */
+img::LabelMap runSolver(const SolverConfig &config,
+                        const MrfProblem &problem, LabelSampler &sampler,
+                        SolverTrace *trace = nullptr);
 
 } // namespace mrf
 } // namespace retsim

@@ -118,10 +118,16 @@ class MrfProblem
     /** Largest possible conditional energy (8-bit budget checks). */
     double maxConditionalEnergy() const;
 
-  private:
-    /** Energy owned by row @p y: its singletons + right/down edges. */
+    /**
+     * Energy owned by row @p y: its singletons + right/down edges
+     * (each grid edge counted exactly once).  totalEnergy() is the
+     * row-order sum of these partials; distributed solvers ship the
+     * partials and reduce them in the same row order so the folded
+     * total is bit-identical to the serial accumulation.
+     */
     double rowEnergy(const img::LabelMap &labels, int y) const;
 
+  private:
     std::size_t
     index(int x, int y, int label) const
     {

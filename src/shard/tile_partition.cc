@@ -1,0 +1,89 @@
+#include "shard/tile_partition.hh"
+
+#include <cstdint>
+
+#include "mrf/checkerboard_detail.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace shard {
+
+TilePartition::TilePartition(int height, int stripes, int shards)
+    : height_(height), stripes_(stripes), shards_(shards)
+{
+    RETSIM_ASSERT(height >= 1, "TilePartition: empty grid");
+    RETSIM_ASSERT(stripes >= 1 && stripes <= height,
+                  "TilePartition: stripe count must be in [1, height]");
+    RETSIM_ASSERT(shards >= 1, "TilePartition: need at least 1 shard");
+}
+
+int
+TilePartition::stripeBegin(int j) const
+{
+    RETSIM_ASSERT(j >= 0 && j < shards_, "TilePartition: bad shard");
+    return static_cast<int>(static_cast<std::int64_t>(stripes_) * j /
+                            shards_);
+}
+
+int
+TilePartition::stripeEnd(int j) const
+{
+    RETSIM_ASSERT(j >= 0 && j < shards_, "TilePartition: bad shard");
+    return static_cast<int>(static_cast<std::int64_t>(stripes_) *
+                            (j + 1) / shards_);
+}
+
+int
+TilePartition::rowBegin(int j) const
+{
+    return mrf::detail::stripeRowStart(stripeBegin(j), height_,
+                                       stripes_);
+}
+
+int
+TilePartition::rowEnd(int j) const
+{
+    return mrf::detail::stripeRowStart(stripeEnd(j), height_,
+                                       stripes_);
+}
+
+int
+TilePartition::stripeOfRow(int y) const
+{
+    RETSIM_ASSERT(y >= 0 && y < height_, "TilePartition: bad row");
+    // Inverse of stripeRowStart(k) = floor(k*H/S): row y belongs to
+    // the last stripe whose start is <= y, i.e. ceil((y+1)*S/H) - 1.
+    std::int64_t k =
+        (static_cast<std::int64_t>(y) + 1) * stripes_ + height_ - 1;
+    return static_cast<int>(k / height_) - 1;
+}
+
+int
+TilePartition::ownerOfRow(int y) const
+{
+    int k = stripeOfRow(y);
+    // Same inversion one level up: shard j owns stripes starting at
+    // floor(S*j/N), so stripe k belongs to shard ceil((k+1)*N/S) - 1.
+    std::int64_t j =
+        (static_cast<std::int64_t>(k) + 1) * shards_ + stripes_ - 1;
+    return static_cast<int>(j / stripes_) - 1;
+}
+
+int
+TilePartition::neighborAbove(int j) const
+{
+    if (empty(j) || rowBegin(j) == 0)
+        return -1;
+    return ownerOfRow(rowBegin(j) - 1);
+}
+
+int
+TilePartition::neighborBelow(int j) const
+{
+    if (empty(j) || rowEnd(j) >= height_)
+        return -1;
+    return ownerOfRow(rowEnd(j));
+}
+
+} // namespace shard
+} // namespace retsim

@@ -1,0 +1,275 @@
+#include "shard/transport.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/framing.hh"
+#include "util/logging.hh"
+
+namespace retsim {
+namespace shard {
+
+// ------------------------------------------------------------------
+// Loopback
+
+class LoopbackMesh::Endpoint final : public ShardTransport
+{
+  public:
+    Endpoint(LoopbackMesh *mesh, int rank) : mesh_(mesh), rank_(rank)
+    {
+    }
+
+    int rank() const override { return rank_; }
+    int worldSize() const override { return mesh_->worldSize_; }
+    bool sharedRegistry() const override { return true; }
+    const char *name() const override { return "loopback"; }
+
+    void
+    send(int peer, std::uint32_t tag, const unsigned char *data,
+         std::size_t len) override
+    {
+        Channel &ch = mesh_->channel(rank_, peer);
+        {
+            std::lock_guard<std::mutex> lock(ch.mutex);
+            ch.queue.emplace_back(
+                tag, std::vector<unsigned char>(data, data + len));
+        }
+        ch.cv.notify_one();
+    }
+
+    std::vector<unsigned char>
+    recv(int peer, std::uint32_t tag) override
+    {
+        Channel &ch = mesh_->channel(peer, rank_);
+        std::unique_lock<std::mutex> lock(ch.mutex);
+        ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+        auto front = std::move(ch.queue.front());
+        ch.queue.pop_front();
+        RETSIM_ASSERT(front.first == tag,
+                      "loopback: rank ", rank_, " expected tag ", tag,
+                      " from rank ", peer, ", got ", front.first);
+        return std::move(front.second);
+    }
+
+  private:
+    LoopbackMesh *mesh_;
+    int rank_;
+
+    friend class LoopbackMesh;
+};
+
+LoopbackMesh::LoopbackMesh(int worldSize) : worldSize_(worldSize)
+{
+    RETSIM_ASSERT(worldSize >= 1, "loopback: bad world size");
+    channels_.resize(static_cast<std::size_t>(worldSize) * worldSize);
+    for (auto &c : channels_)
+        c = std::make_unique<Channel>();
+    for (int r = 0; r < worldSize; ++r)
+        endpoints_.push_back(std::make_unique<Endpoint>(this, r));
+}
+
+LoopbackMesh::~LoopbackMesh() = default;
+
+ShardTransport &
+LoopbackMesh::transport(int rank)
+{
+    RETSIM_ASSERT(rank >= 0 && rank < worldSize_,
+                  "loopback: bad rank");
+    return *endpoints_[static_cast<std::size_t>(rank)];
+}
+
+// ------------------------------------------------------------------
+// Sockets
+
+namespace {
+
+/** Adjacent non-empty tile pairs (a < b) needing a halo link. */
+std::vector<std::pair<int, int>>
+linkPairs(const TilePartition &part)
+{
+    std::vector<std::pair<int, int>> pairs;
+    for (int j = 0; j < part.shards(); ++j) {
+        if (part.empty(j))
+            continue;
+        int up = part.neighborAbove(j);
+        if (up >= 0)
+            pairs.emplace_back(up, j);
+    }
+    return pairs;
+}
+
+class SocketTransport final : public ShardTransport
+{
+  public:
+    SocketTransport(int rank, int worldSize)
+        : rank_(rank), worldSize_(worldSize),
+          fds_(static_cast<std::size_t>(worldSize), -1)
+    {
+    }
+
+    ~SocketTransport() override
+    {
+        for (int fd : fds_)
+            if (fd >= 0)
+                ::close(fd);
+    }
+
+    int rank() const override { return rank_; }
+    int worldSize() const override { return worldSize_; }
+    bool sharedRegistry() const override { return false; }
+    const char *name() const override { return "socket"; }
+
+    void
+    setPeerFd(int peer, int fd)
+    {
+        fds_[static_cast<std::size_t>(peer)] = fd;
+    }
+
+    int
+    peerFd(int peer) const
+    {
+        int fd = fds_[static_cast<std::size_t>(peer)];
+        RETSIM_ASSERT(fd >= 0, "socket: rank ", rank_,
+                      " has no link to rank ", peer);
+        return fd;
+    }
+
+    void
+    send(int peer, std::uint32_t tag, const unsigned char *data,
+         std::size_t len) override
+    {
+        util::writeFrame(peerFd(peer), tag, data, len);
+    }
+
+    std::vector<unsigned char>
+    recv(int peer, std::uint32_t tag) override
+    {
+        util::Frame f = util::readFrame(peerFd(peer));
+        RETSIM_ASSERT(f.tag == tag, "socket: rank ", rank_,
+                      " expected tag ", tag, " from rank ", peer,
+                      ", got ", f.tag);
+        return std::move(f.payload);
+    }
+
+  private:
+    int rank_;
+    int worldSize_;
+    std::vector<int> fds_;
+};
+
+/** Wire up worker-worker halo links by relaying an ephemeral port
+ *  through rank 0.  Every rank walks the same pair list in the same
+ *  order, acting only in the steps that involve it, so the relayed
+ *  messages line up without any further synchronization. */
+void
+establishWorkerLinks(SocketTransport &t, const TilePartition &part)
+{
+    for (auto [a, b] : linkPairs(part)) {
+        if (a == 0 || b == 0)
+            continue; // the star link doubles as the halo link
+        if (t.rank() == a) {
+            std::uint16_t port = 0;
+            int lfd = util::listenLocal(&port);
+            unsigned char buf[4];
+            std::uint32_t peerAndPort =
+                (static_cast<std::uint32_t>(b) << 16) | port;
+            std::memcpy(buf, &peerAndPort, 4);
+            t.send(0, tag::kPort, buf, 4);
+            int fd = util::acceptLocal(lfd);
+            ::close(lfd);
+            util::Frame hello = util::readFrame(fd);
+            RETSIM_ASSERT(hello.tag == tag::kHello &&
+                              hello.payload.size() == 4,
+                          "socket: bad link HELLO");
+            std::uint32_t from = 0;
+            std::memcpy(&from, hello.payload.data(), 4);
+            RETSIM_ASSERT(static_cast<int>(from) == b,
+                          "socket: link HELLO from wrong rank");
+            t.setPeerFd(b, fd);
+        } else if (t.rank() == 0) {
+            auto msg = t.recv(a, tag::kPort);
+            RETSIM_ASSERT(msg.size() == 4, "socket: bad PORT relay");
+            t.send(b, tag::kPort, msg.data(), msg.size());
+        } else if (t.rank() == b) {
+            auto msg = t.recv(0, tag::kPort);
+            RETSIM_ASSERT(msg.size() == 4, "socket: bad PORT relay");
+            std::uint32_t peerAndPort = 0;
+            std::memcpy(&peerAndPort, msg.data(), 4);
+            RETSIM_ASSERT(static_cast<int>(peerAndPort >> 16) == b,
+                          "socket: PORT relay misrouted");
+            int fd = util::connectLocal(
+                static_cast<std::uint16_t>(peerAndPort & 0xffff));
+            std::uint32_t me = static_cast<std::uint32_t>(t.rank());
+            unsigned char buf[4];
+            std::memcpy(buf, &me, 4);
+            util::writeFrame(fd, tag::kHello, buf, 4);
+            t.setPeerFd(a, fd);
+        }
+    }
+}
+
+} // namespace
+
+SocketBoot
+spawnSocketMesh(int worldSize, const TilePartition &part)
+{
+    RETSIM_ASSERT(worldSize >= 2, "socket mesh needs >= 2 ranks");
+    // A peer lost mid-run (the crash drill, or any worker death) must
+    // surface as an EPIPE write error -> RETSIM_FATAL diagnostic, not
+    // a silent SIGPIPE kill.
+    ::signal(SIGPIPE, SIG_IGN);
+    std::uint16_t port = 0;
+    int listenFd = util::listenLocal(&port);
+
+    // Flush stdio so forked children don't replay buffered output.
+    std::fflush(nullptr);
+
+    SocketBoot boot;
+    for (int r = 1; r < worldSize; ++r) {
+        pid_t pid = ::fork();
+        RETSIM_ASSERT(pid >= 0, "socket: fork failed");
+        if (pid == 0) {
+            // Worker process: connect the star link and say hello.
+            ::close(listenFd);
+            auto t =
+                std::make_unique<SocketTransport>(r, worldSize);
+            int fd = util::connectLocal(port);
+            std::uint32_t me = static_cast<std::uint32_t>(r);
+            unsigned char buf[4];
+            std::memcpy(buf, &me, 4);
+            util::writeFrame(fd, tag::kHello, buf, 4);
+            t->setPeerFd(0, fd);
+            establishWorkerLinks(*t, part);
+            boot.rank = r;
+            boot.transport = std::move(t);
+            return boot;
+        }
+        boot.children.push_back(pid);
+    }
+
+    auto t = std::make_unique<SocketTransport>(0, worldSize);
+    for (int i = 1; i < worldSize; ++i) {
+        int fd = util::acceptLocal(listenFd);
+        util::Frame hello = util::readFrame(fd);
+        RETSIM_ASSERT(hello.tag == tag::kHello &&
+                          hello.payload.size() == 4,
+                      "socket: bad bootstrap HELLO");
+        std::uint32_t from = 0;
+        std::memcpy(&from, hello.payload.data(), 4);
+        RETSIM_ASSERT(from >= 1 &&
+                          from < static_cast<std::uint32_t>(worldSize),
+                      "socket: HELLO from unknown rank");
+        t->setPeerFd(static_cast<int>(from), fd);
+    }
+    ::close(listenFd);
+    establishWorkerLinks(*t, part);
+    boot.rank = 0;
+    boot.transport = std::move(t);
+    return boot;
+}
+
+} // namespace shard
+} // namespace retsim

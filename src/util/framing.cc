@@ -1,0 +1,195 @@
+#include "util/framing.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace retsim {
+namespace util {
+
+namespace {
+
+// A frame header is small and fixed; payloads are bounded to catch a
+// desynced stream masquerading as a multi-gigabyte length field.
+constexpr std::uint64_t kMaxPayload = 1ull << 30;
+
+void
+readFully(int fd, unsigned char *dst, std::size_t len, int timeoutMs)
+{
+    std::size_t got = 0;
+    while (got < len) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int pr = ::poll(&pfd, 1, timeoutMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            RETSIM_FATAL("framing: poll failed: ",
+                         std::strerror(errno));
+        }
+        if (pr == 0)
+            RETSIM_FATAL("framing: peer silent for ", timeoutMs,
+                         " ms (shard process lost?)");
+        ssize_t n = ::read(fd, dst + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            RETSIM_FATAL("framing: read failed: ",
+                         std::strerror(errno));
+        }
+        if (n == 0)
+            RETSIM_FATAL("framing: peer closed the connection "
+                         "mid-frame (shard process died?)");
+        got += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+void
+writeFrame(int fd, std::uint32_t tag, const unsigned char *data,
+           std::size_t len)
+{
+    unsigned char header[16];
+    std::uint32_t magic = kFrameMagic;
+    std::uint64_t len64 = len;
+    std::memcpy(header, &magic, 4);
+    std::memcpy(header + 4, &tag, 4);
+    std::memcpy(header + 8, &len64, 8);
+
+    // Coalesce header + payload when small enough to matter (halo
+    // rows are a few hundred bytes; one syscall instead of two).
+    auto writeFully = [fd](const unsigned char *src, std::size_t n) {
+        std::size_t sent = 0;
+        while (sent < n) {
+            ssize_t w = ::write(fd, src + sent, n - sent);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                RETSIM_FATAL("framing: write failed: ",
+                             std::strerror(errno));
+            }
+            sent += static_cast<std::size_t>(w);
+        }
+    };
+    if (len <= 4096) {
+        unsigned char buf[16 + 4096];
+        std::memcpy(buf, header, 16);
+        if (len)
+            std::memcpy(buf + 16, data, len);
+        writeFully(buf, 16 + len);
+    } else {
+        writeFully(header, 16);
+        writeFully(data, len);
+    }
+}
+
+Frame
+readFrame(int fd, int timeoutMs)
+{
+    unsigned char header[16];
+    readFully(fd, header, 16, timeoutMs);
+    std::uint32_t magic = 0;
+    std::uint64_t len = 0;
+    Frame f;
+    std::memcpy(&magic, header, 4);
+    std::memcpy(&f.tag, header + 4, 4);
+    std::memcpy(&len, header + 8, 8);
+    if (magic != kFrameMagic)
+        RETSIM_FATAL("framing: bad magic ", magic,
+                     " (stream desynchronized)");
+    if (len > kMaxPayload)
+        RETSIM_FATAL("framing: implausible payload length ", len);
+    f.payload.resize(static_cast<std::size_t>(len));
+    if (len)
+        readFully(fd, f.payload.data(), f.payload.size(), timeoutMs);
+    return f;
+}
+
+int
+listenLocal(std::uint16_t *port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        RETSIM_FATAL("framing: socket failed: ", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0; // ephemeral
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        RETSIM_FATAL("framing: bind failed: ", std::strerror(errno));
+    if (::listen(fd, 64) != 0)
+        RETSIM_FATAL("framing: listen failed: ", std::strerror(errno));
+    socklen_t alen = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &alen) != 0)
+        RETSIM_FATAL("framing: getsockname failed: ",
+                     std::strerror(errno));
+    *port = ntohs(addr.sin_port);
+    return fd;
+}
+
+int
+acceptLocal(int listenFd, int timeoutMs)
+{
+    struct pollfd pfd;
+    pfd.fd = listenFd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    for (;;) {
+        int pr = ::poll(&pfd, 1, timeoutMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            RETSIM_FATAL("framing: accept poll failed: ",
+                         std::strerror(errno));
+        }
+        if (pr == 0)
+            RETSIM_FATAL("framing: no shard connected within ",
+                         timeoutMs, " ms");
+        break;
+    }
+    int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0)
+        RETSIM_FATAL("framing: accept failed: ", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+int
+connectLocal(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        RETSIM_FATAL("framing: socket failed: ", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    for (;;) {
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        RETSIM_FATAL("framing: connect to 127.0.0.1:", port,
+                     " failed: ", std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+} // namespace util
+} // namespace retsim

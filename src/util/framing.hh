@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Length-prefixed message framing over file descriptors, plus the
+ * localhost TCP plumbing the shard transport builds on.
+ *
+ * Wire format of one frame: magic u32, tag u32, payload length u64,
+ * payload bytes — all little-endian, host byte order (shards only
+ * ever talk to the same machine).  The reader polls with a timeout so
+ * a lost peer surfaces as a diagnostic instead of a hung CI job, and
+ * both ends validate the magic + tag so protocol desynchronization is
+ * caught at the first frame, not as corrupted payload downstream.
+ */
+
+#ifndef RETSIM_UTIL_FRAMING_HH
+#define RETSIM_UTIL_FRAMING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace retsim {
+namespace util {
+
+/** Frame magic ("RSFR"): catches stream desync / wrong-port peers. */
+constexpr std::uint32_t kFrameMagic = 0x52534652u;
+
+/** Peer-loss safety net: recvs give up after this long (CI-friendly
+ *  — far above any legitimate inter-sweep gap, far below job
+ *  timeouts). */
+constexpr int kFrameTimeoutMs = 120'000;
+
+struct Frame
+{
+    std::uint32_t tag = 0;
+    std::vector<unsigned char> payload;
+};
+
+/** Write one frame, looping over partial writes; fatal on error. */
+void writeFrame(int fd, std::uint32_t tag, const unsigned char *data,
+                std::size_t len);
+
+/**
+ * Read one frame, polling up to @p timeoutMs for each chunk; fatal on
+ * EOF, error, timeout, or bad magic.
+ */
+Frame readFrame(int fd, int timeoutMs = kFrameTimeoutMs);
+
+/**
+ * Bind + listen on an ephemeral 127.0.0.1 port; returns the listening
+ * fd and stores the chosen port in @p port.
+ */
+int listenLocal(std::uint16_t *port);
+
+/** Accept one connection, polling up to @p timeoutMs; fatal on fail. */
+int acceptLocal(int listenFd, int timeoutMs = kFrameTimeoutMs);
+
+/** Connect to 127.0.0.1:@p port; fatal on failure. */
+int connectLocal(std::uint16_t port);
+
+} // namespace util
+} // namespace retsim
+
+#endif // RETSIM_UTIL_FRAMING_HH

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Sharded-solver layer tests: TilePartition edge cases (1-row tiles,
+ * more shards than stripes, non-divisible heights, halo indexing at
+ * the grid boundary), partition-independence of the per-stripe RNG
+ * stream keys, frame round-trips over a socketpair, and the headline
+ * equivalence contract on the loopback transport — a run sharded N
+ * ways is byte-identical (labels, trace, final snapshot) to the
+ * serial striped run.  Socket-transport equivalence and the crash
+ * drill live in tools/shard_check (forking inside the gtest process
+ * is off the table: the suite is multi-threaded).
+ */
+
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/sampler_software.hh"
+#include "img/image.hh"
+#include "mrf/checkerboard.hh"
+#include "mrf/checkerboard_detail.hh"
+#include "mrf/checkpoint.hh"
+#include "mrf/problem.hh"
+#include "shard/sharded_solver.hh"
+#include "shard/tile_partition.hh"
+#include "util/framing.hh"
+
+namespace {
+
+using namespace retsim;
+
+// ------------------------------------------------------------------
+// TilePartition
+
+/** Structural invariants every partition must satisfy: stripe-aligned
+ *  contiguous coverage, consistent inverses, correct halo owners. */
+void
+expectWellFormed(const shard::TilePartition &p)
+{
+    const int H = p.height(), S = p.stripes(), N = p.shards();
+    int stripe = 0, row = 0;
+    for (int j = 0; j < N; ++j) {
+        EXPECT_EQ(p.stripeBegin(j), stripe) << "shard " << j;
+        EXPECT_LE(p.stripeBegin(j), p.stripeEnd(j));
+        stripe = p.stripeEnd(j);
+        EXPECT_EQ(p.rowBegin(j),
+                  mrf::detail::stripeRowStart(p.stripeBegin(j), H, S));
+        EXPECT_EQ(p.rowEnd(j),
+                  mrf::detail::stripeRowStart(p.stripeEnd(j), H, S));
+        EXPECT_EQ(p.rowBegin(j), row);
+        row = p.rowEnd(j);
+        EXPECT_EQ(p.empty(j), p.rowBegin(j) == p.rowEnd(j));
+    }
+    EXPECT_EQ(stripe, S) << "stripes not fully covered";
+    EXPECT_EQ(row, H) << "rows not fully covered";
+
+    for (int y = 0; y < H; ++y) {
+        const int k = p.stripeOfRow(y);
+        ASSERT_GE(k, 0);
+        ASSERT_LT(k, S);
+        EXPECT_GE(y, mrf::detail::stripeRowStart(k, H, S));
+        EXPECT_LT(y, mrf::detail::stripeRowStart(k + 1, H, S));
+        const int j = p.ownerOfRow(y);
+        ASSERT_GE(j, 0);
+        ASSERT_LT(j, N);
+        EXPECT_GE(y, p.rowBegin(j));
+        EXPECT_LT(y, p.rowEnd(j));
+    }
+
+    for (int j = 0; j < N; ++j) {
+        if (p.empty(j)) {
+            EXPECT_EQ(p.neighborAbove(j), -1);
+            EXPECT_EQ(p.neighborBelow(j), -1);
+            continue;
+        }
+        if (p.rowBegin(j) == 0)
+            EXPECT_EQ(p.neighborAbove(j), -1);
+        else
+            EXPECT_EQ(p.neighborAbove(j),
+                      p.ownerOfRow(p.rowBegin(j) - 1));
+        if (p.rowEnd(j) == H)
+            EXPECT_EQ(p.neighborBelow(j), -1);
+        else
+            EXPECT_EQ(p.neighborBelow(j), p.ownerOfRow(p.rowEnd(j)));
+    }
+}
+
+TEST(TilePartition, OneRowTilesChainTheirHalos)
+{
+    // height == stripes == shards: every tile is a single row, every
+    // interior tile has both halo neighbors.
+    shard::TilePartition p(6, 6, 6);
+    expectWellFormed(p);
+    for (int j = 0; j < 6; ++j) {
+        EXPECT_EQ(p.rowBegin(j), j);
+        EXPECT_EQ(p.rowEnd(j), j + 1);
+        EXPECT_EQ(p.neighborAbove(j), j == 0 ? -1 : j - 1);
+        EXPECT_EQ(p.neighborBelow(j), j == 5 ? -1 : j + 1);
+    }
+}
+
+TEST(TilePartition, MoreShardsThanStripesLeavesSurplusEmpty)
+{
+    shard::TilePartition p(5, 3, 5);
+    expectWellFormed(p);
+    int nonEmpty = 0;
+    for (int j = 0; j < 5; ++j)
+        nonEmpty += p.empty(j) ? 0 : 1;
+    EXPECT_EQ(nonEmpty, 3);
+}
+
+TEST(TilePartition, NonDivisibleHeightsStayWellFormed)
+{
+    for (int height : {1, 2, 7, 13, 48, 97})
+        for (int stripes : {1, 2, 3, 5, 8, 16}) {
+            if (stripes > height)
+                continue;
+            for (int shards : {1, 2, 3, 4, 7, 19}) {
+                SCOPED_TRACE("h=" + std::to_string(height) +
+                             " S=" + std::to_string(stripes) +
+                             " N=" + std::to_string(shards));
+                expectWellFormed(
+                    shard::TilePartition(height, stripes, shards));
+            }
+        }
+}
+
+TEST(TilePartition, HaloIndexingAtGridBoundary)
+{
+    shard::TilePartition p(48, 8, 3);
+    expectWellFormed(p);
+    // Top tile has no upper ghost, bottom tile no lower ghost.
+    EXPECT_EQ(p.neighborAbove(0), -1);
+    EXPECT_EQ(p.neighborBelow(2), -1);
+    // Interior boundaries resolve to the adjacent rank.
+    EXPECT_EQ(p.neighborBelow(0), 1);
+    EXPECT_EQ(p.neighborAbove(1), 0);
+    EXPECT_EQ(p.neighborBelow(1), 2);
+    EXPECT_EQ(p.neighborAbove(2), 1);
+}
+
+TEST(TilePartition, StripeStreamKeysAreShardCountIndependent)
+{
+    // The determinism argument: stripe k's RNG stream key is a
+    // function of the GLOBAL stripe id only, and every shard count
+    // assigns the same global ids, so the executed streams are
+    // identical no matter how many shards run them.
+    const int height = 48, stripes = 8;
+    const std::uint64_t seed = 0x5eed;
+    std::vector<std::uint64_t> serialKeys;
+    for (int k = 0; k < stripes; ++k)
+        serialKeys.push_back(
+            mrf::detail::stripeStreamSeed(seed, 3, 1, k));
+
+    for (int shards : {1, 2, 3, 4, 8, 11}) {
+        shard::TilePartition p(height, stripes, shards);
+        std::vector<std::uint64_t> keys;
+        for (int j = 0; j < shards; ++j)
+            for (int k = p.stripeBegin(j); k < p.stripeEnd(j); ++k)
+                keys.push_back(
+                    mrf::detail::stripeStreamSeed(seed, 3, 1, k));
+        EXPECT_EQ(keys, serialKeys) << "shards=" << shards;
+    }
+}
+
+// ------------------------------------------------------------------
+// Frame round-trips
+
+TEST(Framing, RoundTripsTagAndPayloadOverSocketpair)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    std::vector<unsigned char> payload;
+    for (int i = 0; i < 300; ++i)
+        payload.push_back(static_cast<unsigned char>(i * 7));
+    util::writeFrame(fds[0], 42, payload.data(), payload.size());
+    util::writeFrame(fds[0], 7, nullptr, 0); // empty payload
+
+    util::Frame a = util::readFrame(fds[1]);
+    EXPECT_EQ(a.tag, 42u);
+    EXPECT_EQ(a.payload, payload);
+    util::Frame b = util::readFrame(fds[1]);
+    EXPECT_EQ(b.tag, 7u);
+    EXPECT_TRUE(b.payload.empty());
+
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(Framing, PreservesFrameOrderUnderBackToBackWrites)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    for (std::uint32_t tag = 1; tag <= 24; ++tag) {
+        unsigned char byte = static_cast<unsigned char>(tag);
+        util::writeFrame(fds[0], tag, &byte, 1);
+    }
+    for (std::uint32_t tag = 1; tag <= 24; ++tag) {
+        util::Frame f = util::readFrame(fds[1]);
+        EXPECT_EQ(f.tag, tag);
+        ASSERT_EQ(f.payload.size(), 1u);
+        EXPECT_EQ(f.payload[0], static_cast<unsigned char>(tag));
+    }
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+// ------------------------------------------------------------------
+// Loopback equivalence
+
+mrf::MrfProblem
+makeProblem(int width = 14, int height = 11, int num_labels = 5)
+{
+    mrf::MrfProblem p(
+        width, height,
+        mrf::PairwiseTable(mrf::DistanceKind::Absolute, num_labels,
+                           2.0),
+        "shard-test");
+    for (int y = 0; y < height; ++y)
+        for (int x = 0; x < width; ++x)
+            for (int l = 0; l < num_labels; ++l)
+                p.singleton(x, y, l) = static_cast<float>(
+                    ((x * 5 + y * 11 + l * 23) % 19) * 0.5);
+    return p;
+}
+
+struct RunResult
+{
+    img::LabelMap labels;
+    mrf::SolverTrace trace;
+    std::vector<unsigned char> snapshot;
+};
+
+mrf::SolverConfig
+solverConfig(int stripes)
+{
+    mrf::SolverConfig cfg;
+    cfg.annealing.t0 = 12.0;
+    cfg.annealing.tEnd = 0.8;
+    cfg.annealing.sweeps = 8;
+    cfg.seed = 99;
+    cfg.stripes = stripes;
+    cfg.checkpointEvery = 3; // final sweep always snapshots
+    return cfg;
+}
+
+RunResult
+runReference(const mrf::MrfProblem &problem, int stripes)
+{
+    RunResult r;
+    mrf::SolverConfig cfg = solverConfig(stripes);
+    cfg.checkpointSink = [&](const mrf::SolverCheckpoint &cp) {
+        if (cp.sweepsDone == cp.sweepsTotal)
+            r.snapshot = cp.serialize();
+    };
+    core::SoftwareSampler sampler;
+    r.labels = mrf::CheckerboardGibbsSolver(cfg).run(problem, sampler,
+                                                     &r.trace);
+    return r;
+}
+
+RunResult
+runLoopback(const mrf::MrfProblem &problem, int stripes, int shards)
+{
+    RunResult r;
+    mrf::SolverConfig cfg = solverConfig(stripes);
+    cfg.checkpointSink = [&](const mrf::SolverCheckpoint &cp) {
+        if (cp.sweepsDone == cp.sweepsTotal)
+            r.snapshot = cp.serialize();
+    };
+    shard::ShardOptions options;
+    options.shards = shards;
+    options.transport = shard::ShardOptions::Transport::Loopback;
+    core::SoftwareSampler sampler;
+    r.labels = shard::ShardedCheckerboardSolver(cfg, options)
+                   .run(problem, sampler, &r.trace);
+    return r;
+}
+
+void
+expectSameRun(const RunResult &ref, const RunResult &got)
+{
+    EXPECT_EQ(got.labels.data(), ref.labels.data());
+    EXPECT_EQ(got.trace.energyPerSweep, ref.trace.energyPerSweep);
+    EXPECT_EQ(got.trace.temperaturePerSweep,
+              ref.trace.temperaturePerSweep);
+    EXPECT_EQ(got.trace.labelChanges, ref.trace.labelChanges);
+    EXPECT_EQ(got.trace.pixelUpdates, ref.trace.pixelUpdates);
+    EXPECT_EQ(got.snapshot, ref.snapshot);
+}
+
+TEST(ShardedSolver, LoopbackMatchesSerialStripedByteForByte)
+{
+    const mrf::MrfProblem problem = makeProblem();
+    const RunResult ref = runReference(problem, 4);
+    for (int shards : {2, 3, 4}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        expectSameRun(ref, runLoopback(problem, 4, shards));
+    }
+}
+
+TEST(ShardedSolver, EmptyRanksDoNotPerturbTheResult)
+{
+    // More shards than stripes: the surplus ranks own nothing and the
+    // result must still be identical.
+    const mrf::MrfProblem problem = makeProblem(10, 9);
+    const RunResult ref = runReference(problem, 3);
+    expectSameRun(ref, runLoopback(problem, 3, 5));
+}
+
+TEST(ShardedSolver, SingleShardDelegatesToSerialSolver)
+{
+    const mrf::MrfProblem problem = makeProblem();
+    const RunResult ref = runReference(problem, 4);
+    expectSameRun(ref, runLoopback(problem, 4, 1));
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Multi-process sharded-anneal launcher.
+ *
+ * Runs one checkerboard Gibbs anneal of a synthetic Potts
+ * (segmentation-style) lattice split across N shard ranks — by
+ * default as N OS processes over the localhost socket transport (the
+ * launcher process becomes rank 0 and forks the workers), or as rank
+ * threads with --shard-transport=loopback.  This is the operational
+ * entry point for sharded runs: tools/shard_check proves the
+ * equivalence contract on miniatures, this drives real sizes.
+ *
+ *   --width=W --height=H     lattice size (default 256 x 256)
+ *   --labels=M               Potts label count (default 8)
+ *   --sweeps=N --seed=S      anneal length / RNG seed
+ *   --stripes=K              stripe count (0 = auto min(height, 16))
+ *   --shards=N               shard rank count (default 2)
+ *   --shard-transport=SPEC   socket (default here) | loopback
+ *   --checkpoint-path=P      snapshot to P (with --checkpoint-every)
+ *   --checkpoint-every=N     snapshot cadence in sweeps
+ *   --resume=P               resume a previous run's snapshot
+ *
+ * Prints the tile assignment, wall time, samples/s, and final energy.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "apps/segmentation.hh"
+#include "core/rsu_config.hh"
+#include "core/sampler_rsu.hh"
+#include "img/synthetic.hh"
+#include "mrf/checkpoint.hh"
+#include "shard/shard_cli.hh"
+#include "shard/sharded_solver.hh"
+#include "shard/tile_partition.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace retsim;
+    util::CliArgs args(argc, argv);
+
+    img::SegmentationSceneSpec spec;
+    spec.name = "shard_launcher";
+    spec.width = static_cast<int>(args.getInt("width", 256));
+    spec.height = static_cast<int>(args.getInt("height", 256));
+    spec.numSegments = static_cast<int>(args.getInt("labels", 8));
+    spec.numRegions = spec.numSegments * 3;
+    auto scene = img::makeSegmentationScene(
+        spec, static_cast<std::uint64_t>(args.getInt("seed", 1)));
+    mrf::MrfProblem problem =
+        apps::buildSegmentationProblem(scene);
+
+    mrf::SolverConfig cfg = apps::defaultSegmentationSolver(
+        static_cast<int>(args.getInt("sweeps", 60)),
+        static_cast<std::uint64_t>(args.getInt("seed", 1)));
+    cfg.stripes = static_cast<int>(args.getInt("stripes", 0));
+    cfg.checkpointPath = args.getString("checkpoint-path", "");
+    cfg.checkpointEvery =
+        static_cast<int>(args.getInt("checkpoint-every", 0));
+    const std::string resume = args.getString("resume", "");
+    if (!resume.empty()) {
+        auto cp = std::make_shared<mrf::SolverCheckpoint>();
+        std::string error;
+        if (!mrf::SolverCheckpoint::readFile(resume, cp.get(),
+                                             &error))
+            RETSIM_FATAL(error);
+        cfg.resume = std::move(cp);
+    }
+
+    shard::ShardOptions options = shard::shardOptionsFromCli(args);
+    if (!args.has("shards"))
+        options.shards = 2;
+    if (!args.has("shard-transport"))
+        options.transport = shard::ShardOptions::Transport::Socket;
+
+    const int stripes = std::min(
+        cfg.stripes > 0 ? cfg.stripes : std::min(spec.height, 16),
+        spec.height);
+    shard::TilePartition part(spec.height, stripes, options.shards);
+    std::printf("lattice %dx%d, %d labels, %d sweeps, %d stripes, "
+                "%d shard(s) over %s\n",
+                spec.width, spec.height, problem.numLabels(),
+                cfg.annealing.sweeps, stripes, options.shards,
+                options.transport ==
+                        shard::ShardOptions::Transport::Socket
+                    ? "socket"
+                    : "loopback");
+    for (int j = 0; j < options.shards; ++j)
+        std::printf("  rank %d: stripes [%d, %d) rows [%d, %d)%s\n",
+                    j, part.stripeBegin(j), part.stripeEnd(j),
+                    part.rowBegin(j), part.rowEnd(j),
+                    part.empty(j) ? " (empty)" : "");
+
+    core::RsuSampler sampler(core::RsuConfig::newDesign());
+    mrf::SolverTrace trace;
+    auto start = std::chrono::steady_clock::now();
+    img::LabelMap labels =
+        shard::ShardedCheckerboardSolver(cfg, options)
+            .run(problem, sampler, &trace);
+    auto seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    std::printf("done: %.3f s, %.3g samples/s, final energy %.6f\n",
+                seconds,
+                static_cast<double>(trace.pixelUpdates) / seconds,
+                trace.energyPerSweep.empty()
+                    ? 0.0
+                    : trace.energyPerSweep.back());
+    return 0;
+}
