@@ -17,6 +17,13 @@
  * label count so the device pipeline's scaling is tracked alongside
  * the software baseline.  Each run reports the incremental
  * energy-plane cache's hit rate (--energy-cache=0 disables it).
+ *
+ * With --shards=N the sharded solver is timed three ways per
+ * workload — synchronous halo exchange, overlapped (boundary-first)
+ * serial, and overlapped at 4 intra-rank threads — and every run row
+ * records overlap_halo, threads and the halo_wait_ns counter delta,
+ * so the JSON shows how much ghost-row latency the overlap hides
+ * even on a single-core container.
  */
 
 #include <chrono>
@@ -45,9 +52,11 @@ struct RunResult
     int stripes = 0;
     int shards = 1;                 ///< 1 = single-process solver
     const char *transport = "none"; ///< loopback|socket when sharded
+    bool overlapHalo = false;       ///< boundary-first schedule
     double seconds = 0.0;
     double pixelsPerSec = 0.0;
-    double cacheHitRate = 0.0; ///< energy planes served clean
+    double cacheHitRate = 0.0;      ///< energy planes served clean
+    std::uint64_t haloWaitNs = 0;   ///< time blocked on ghost rows
 };
 
 /** Energy-plane cache traffic of one run, read back from the global
@@ -67,6 +76,19 @@ struct CacheCounters
         return {reg.counterValue(h), reg.counterValue(r)};
     }
 };
+
+/** Cumulative time the shard layer spent blocked on inbound ghost
+ *  rows (shard.halo.wait_ns), read back like the cache counters; the
+ *  per-run delta shows how much halo latency the overlapped schedule
+ *  actually hides. */
+std::uint64_t
+haloWaitNow()
+{
+    obs::Registry &reg = obs::Registry::global();
+    static const obs::MetricId id =
+        reg.counter("shard.halo.wait_ns");
+    return reg.counterValue(id);
+}
 
 double
 timeSolve(const mrf::MrfProblem &problem,
@@ -90,13 +112,16 @@ RunResult
 measure(const mrf::MrfProblem &problem,
         const bench::SamplerFactory &factory, mrf::SolverConfig cfg,
         int threads, int stripes,
-        const shard::ShardOptions &shards = {})
+        const shard::ShardOptions &shards = {},
+        bool overlapHalo = false)
 {
     cfg.threads = threads;
     cfg.stripes = stripes;
+    cfg.overlapHalo = overlapHalo;
     RunResult r;
     r.threads = threads;
     r.stripes = stripes;
+    r.overlapHalo = overlapHalo;
     if (shards.shards > 1) {
         r.shards = shards.shards;
         r.transport =
@@ -105,7 +130,9 @@ measure(const mrf::MrfProblem &problem,
                 : "loopback";
     }
     const CacheCounters before = CacheCounters::now();
+    const std::uint64_t waitBefore = haloWaitNow();
     r.seconds = timeSolve(problem, factory, cfg, shards);
+    r.haloWaitNs = haloWaitNow() - waitBefore;
     const CacheCounters after = CacheCounters::now();
     const double served =
         static_cast<double>((after.hits - before.hits) +
@@ -124,11 +151,14 @@ void
 printRun(const RunResult &r, double serial_s)
 {
     if (r.shards > 1)
-        std::printf("  shards=%2d (%s) stripes=%2d  %8.3f s  "
-                    "%12.0f px/s  cache-hit %5.1f%%  %.2fx\n",
-                    r.shards, r.transport, r.stripes, r.seconds,
-                    r.pixelsPerSec, 100.0 * r.cacheHitRate,
-                    serial_s / r.seconds);
+        std::printf("  shards=%2d (%s) stripes=%2d threads=%d "
+                    "overlap=%s  %8.3f s  %12.0f px/s  "
+                    "halo-wait %6.2f ms  cache-hit %5.1f%%  %.2fx\n",
+                    r.shards, r.transport, r.stripes, r.threads,
+                    r.overlapHalo ? "on" : "off", r.seconds,
+                    r.pixelsPerSec,
+                    static_cast<double>(r.haloWaitNs) / 1e6,
+                    100.0 * r.cacheHitRate, serial_s / r.seconds);
     else
         std::printf("  threads=%2d stripes=%2d  %8.3f s  %12.0f px/s  "
                     "cache-hit %5.1f%%  %.2fx\n",
@@ -300,9 +330,21 @@ main(int argc, char **argv)
         for (int t : thread_set)
             runs.push_back(
                 measure(*w.problem, w.factory, w.cfg, t, stripes));
-        if (shard_options.shards > 1)
+        if (shard_options.shards > 1) {
+            // Synchronous (PR 8 reference), then the boundary-first
+            // overlapped schedule serial and threaded — same results
+            // byte for byte, so the deltas are pure communication
+            // hiding + intra-rank scaling.
             runs.push_back(measure(*w.problem, w.factory, w.cfg, 1,
-                                   stripes, shard_options));
+                                   stripes, shard_options,
+                                   /*overlapHalo=*/false));
+            runs.push_back(measure(*w.problem, w.factory, w.cfg, 1,
+                                   stripes, shard_options,
+                                   /*overlapHalo=*/true));
+            runs.push_back(measure(*w.problem, w.factory, w.cfg, 4,
+                                   stripes, shard_options,
+                                   /*overlapHalo=*/true));
+        }
         for (const RunResult &r : runs)
             printRun(r, serial.seconds);
 
@@ -325,11 +367,14 @@ main(int argc, char **argv)
                 f,
                 "%s\n        {\"threads\": %d, \"stripes\": %d, "
                 "\"shards\": %d, \"transport\": \"%s\", "
+                "\"overlap_halo\": %s, \"halo_wait_ns\": %llu, "
                 "\"seconds\": %.6f, \"pixels_per_s\": %.1f, "
                 "\"energy_cache_hit_rate\": %.4f, "
                 "\"speedup_vs_serial\": %.3f}",
                 i == 0 ? "" : ",", r.threads, r.stripes, r.shards,
-                r.transport, r.seconds, r.pixelsPerSec, r.cacheHitRate,
+                r.transport, r.overlapHalo ? "true" : "false",
+                static_cast<unsigned long long>(r.haloWaitNs),
+                r.seconds, r.pixelsPerSec, r.cacheHitRate,
                 serial.seconds / r.seconds);
         }
         std::fprintf(f, "\n      ]\n    }");

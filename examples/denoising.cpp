@@ -6,6 +6,11 @@
  * over 32 intensity levels, and compare software vs new RSU-G PSNR.
  *
  *   ./denoising [--sigma=25] [--levels=32] [--sweeps=40] [--outdir=.]
+ *
+ * Sharded runs (shard/shard_cli.hh) take [--shards=N]
+ * [--shard-transport=loopback|socket] [--threads=N]
+ * [--overlap-halo=on|off]; every combination produces the
+ * byte-identical result.
  */
 
 #include <cstdio>

@@ -7,6 +7,11 @@
  *
  *   ./motion_estimation [--scene=venus|rubberwhale|dimetrodon]
  *                       [--sweeps=150] [--outdir=.]
+ *
+ * Sharded runs (shard/shard_cli.hh) take [--shards=N]
+ * [--shard-transport=loopback|socket] [--threads=N]
+ * [--overlap-halo=on|off]; every combination produces the
+ * byte-identical result.
  */
 
 #include <cmath>

@@ -1,6 +1,7 @@
 #include "shard/sharded_solver.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -21,6 +22,7 @@
 #include "shard/transport.hh"
 #include "util/checkpoint.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace retsim {
 namespace shard {
@@ -33,6 +35,42 @@ using mrf::detail::StripeCounters;
 using mrf::detail::stripeRowStart;
 using mrf::detail::stripeStreamSeed;
 using mrf::detail::updateRow;
+
+/** Transport-behavior counters, folded per rank at the sweep join
+ *  (same static-registration pattern as SolverMetricIds). */
+struct ShardMetricIds
+{
+    obs::MetricId haloBytesSent; ///< ghost-row payload bytes posted
+    obs::MetricId haloSendNs;    ///< time spent posting ghost rows
+    obs::MetricId haloWaitNs;    ///< time blocked on inbound ghosts
+    obs::MetricId interiorNs;    ///< per-phase stripe compute time
+
+    static const ShardMetricIds &
+    get()
+    {
+        static const ShardMetricIds ids = [] {
+            obs::Registry &r = obs::Registry::global();
+            return ShardMetricIds{
+                r.counter("shard.halo.bytes_sent"),
+                r.counter("shard.halo.send_ns"),
+                r.counter("shard.halo.wait_ns"),
+                r.counter("shard.phase.interior_ns"),
+            };
+        }();
+        return ids;
+    }
+};
+
+/** Monotonic nanoseconds since @p t0 (counter accumulation only —
+ *  results never depend on time). */
+std::uint64_t
+nsSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
 
 /** Flags every rank must agree on, computed by rank 0 before spawn
  *  (workers inherit them by fork / thread capture) so both sides of
@@ -117,6 +155,23 @@ struct TileWork
     std::vector<std::vector<std::uint64_t>> deferred;
     std::vector<obs::MetricShard> shards;
 
+    /** Boundary-first overlapped schedule (SolverConfig::overlapHalo):
+     *  ghost rows posted asynchronously after the boundary stripes,
+     *  consumed at the start of the NEXT phase. */
+    bool overlap = false;
+    /** True while a posted halo has not been consumed yet (cleared on
+     *  (re)start, so the first phase after resume never waits). */
+    bool ghostsInFlight = false;
+    /** Intra-rank stripe dispatch (SolverConfig::threads, same rule
+     *  as the single-process checkerboard solver). */
+    std::unique_ptr<util::ThreadPool> pool;
+
+    // Transport-behavior tallies, folded by foldShards() per sweep.
+    std::uint64_t haloBytesSent = 0;
+    std::uint64_t haloSendNs = 0;
+    std::uint64_t haloWaitNs = 0;
+    std::uint64_t interiorNs = 0;
+
     TileWork(const mrf::SolverConfig &cfg,
              const mrf::MrfProblem &prob, const TilePartition &p,
              ShardTransport &transport, img::LabelMap &lab,
@@ -159,6 +214,20 @@ struct TileWork
         shards.reserve(n);
         for (std::size_t i = 0; i < n; ++i)
             shards.push_back(reg.makeShard());
+        overlap = config.overlapHalo;
+        // parallelFor's caller participates, so a pool of threads-1
+        // workers yields exactly `threads` concurrent executors —
+        // the single-process solver's sizing rule, capped at this
+        // rank's stripe count.
+        int threads =
+            config.threads == 0
+                ? static_cast<int>(
+                      util::ThreadPool::global().numThreads())
+                : config.threads;
+        threads = std::min(threads, k1 - k0);
+        if (threads > 1)
+            pool = std::make_unique<util::ThreadPool>(
+                static_cast<std::size_t>(threads - 1));
     }
 
     bool empty() const { return k0 == k1; }
@@ -228,34 +297,53 @@ struct TileWork
     }
 
     void
-    sendBoundaryRow(int peer, int y)
+    postBoundaryRow(int peer, int y, bool async)
     {
         util::ByteWriter w;
         w.u32(static_cast<std::uint32_t>(y));
         for (int x = 0; x < problem.width(); ++x)
             w.i32(labels(x, y));
-        tr.send(peer, tag::kHalo, w.bytes().data(),
-                w.bytes().size());
+        const auto t0 = std::chrono::steady_clock::now();
+        if (async)
+            tr.sendAsync(peer, tag::kHalo, w.bytes().data(),
+                         w.bytes().size());
+        else
+            tr.send(peer, tag::kHalo, w.bytes().data(),
+                    w.bytes().size());
+        haloSendNs += nsSince(t0);
+        haloBytesSent += w.bytes().size();
     }
 
+    /**
+     * Land one received ghost row: refresh the ghost labels and mark
+     * the adjacent inner row — the only row of ours whose planes
+     * depend on ghost labels — once per changed ghost pixel.  The
+     * change test reads the cache's SHADOW plane, not the label map:
+     * on rank 0 a GATHER may overwrite ghost rows with their
+     * post-phase values before the deferred halo is consumed, and the
+     * shadow is what the cached planes were actually computed
+     * against, so the diff (and the invalidation count) stays
+     * identical to the serial run's.
+     */
     void
-    recvGhostRow(int peer, int yg)
+    applyGhostRow(int peer, int yg,
+                  std::span<const unsigned char> payload)
     {
-        std::vector<unsigned char> payload =
-            tr.recv(peer, tag::kHalo);
         util::ByteReader rd(payload);
         const int y = static_cast<int>(rd.u32());
         RETSIM_ASSERT(y == yg, "halo: rank ", rank, " expected row ",
                       yg, " from rank ", peer, ", got ", y);
-        // The boundary row adjacent to this ghost: the only row of
-        // ours whose planes depend on ghost labels.
         const int inner = yg < lo ? lo : hi - 1;
+        const std::uint8_t *shadow =
+            cache ? cache->shadow() +
+                        static_cast<std::size_t>(yg) *
+                            problem.width()
+                  : nullptr;
         for (int x = 0; x < problem.width(); ++x) {
             const int nv = rd.i32();
-            if (labels(x, yg) == nv)
-                continue;
             labels(x, yg) = nv;
-            if (cache) {
+            if (shadow &&
+                shadow[x] != static_cast<std::uint8_t>(nv)) {
                 cache->setShadow(x, yg, nv);
                 cache->mark(x, inner);
             }
@@ -264,34 +352,135 @@ struct TileWork
                       "halo: malformed payload");
     }
 
-    /** Refresh ghost rows at a color-phase boundary.  Sends complete
-     *  before receives; the frames are a single row, far below any
-     *  transport buffering, so the symmetric exchange cannot
-     *  deadlock. */
+    void
+    recvGhostRow(int peer, int yg)
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<unsigned char> payload =
+            tr.recv(peer, tag::kHalo);
+        haloWaitNs += nsSince(t0);
+        applyGhostRow(peer, yg, payload);
+    }
+
+    /** Synchronous ghost-row refresh at a color-phase boundary (the
+     *  reference schedule).  Sends complete before receives; the
+     *  frames are a single row, far below any transport buffering, so
+     *  the symmetric exchange cannot deadlock. */
     void
     haloExchange()
     {
-        if (empty())
-            return;
         if (up >= 0)
-            sendBoundaryRow(up, lo);
+            postBoundaryRow(up, lo, /*async=*/false);
         if (down >= 0)
-            sendBoundaryRow(down, hi - 1);
+            postBoundaryRow(down, hi - 1, /*async=*/false);
         if (up >= 0)
             recvGhostRow(up, lo - 1);
         if (down >= 0)
             recvGhostRow(down, hi);
     }
 
+    /** Consume the ghost rows posted by the neighbors' previous
+     *  phase.  tryRecv first, so halo.wait_ns accrues only when the
+     *  transfer did NOT finish behind the interior compute. */
+    void
+    waitGhosts()
+    {
+        if (!ghostsInFlight)
+            return;
+        ghostsInFlight = false;
+        const int peers[2] = {up, down};
+        const int rows[2] = {lo - 1, hi};
+        for (int i = 0; i < 2; ++i) {
+            if (peers[i] < 0)
+                continue;
+            std::vector<unsigned char> payload;
+            if (!tr.tryRecv(peers[i], tag::kHalo, &payload)) {
+                const auto t0 = std::chrono::steady_clock::now();
+                payload = tr.recv(peers[i], tag::kHalo);
+                haloWaitNs += nsSince(t0);
+            }
+            applyGhostRow(peers[i], rows[i], payload);
+        }
+    }
+
+    /** Receive-and-drop any posted-but-unconsumed ghosts, so a rank
+     *  exiting mid-run (the crash drill) closes its links with empty
+     *  receive buffers — FIN, not RST, which could discard in-flight
+     *  frames rank 0 has not read yet. */
+    void
+    drainGhosts()
+    {
+        if (!ghostsInFlight)
+            return;
+        ghostsInFlight = false;
+        if (up >= 0)
+            tr.recv(up, tag::kHalo);
+        if (down >= 0)
+            tr.recv(down, tag::kHalo);
+    }
+
+    /** Run stripes [ka, kb) of this phase, across the pool when one
+     *  exists.  Any stripe order (and any thread interleaving) yields
+     *  byte-identical results: each stripe draws from its own (seed,
+     *  sweep, color, stripe) RNG stream and sampler clone, and every
+     *  neighbor read within a phase is a frozen other-color pixel. */
+    void
+    runStripes(int sweep, int color, int ka, int kb,
+               double temperature)
+    {
+        if (pool && kb - ka > 1)
+            pool->parallelFor(
+                static_cast<std::size_t>(kb - ka),
+                [&](std::size_t i) {
+                    runStripe(sweep, color, ka + static_cast<int>(i),
+                              temperature);
+                });
+        else
+            for (int k = ka; k < kb; ++k)
+                runStripe(sweep, color, k, temperature);
+    }
+
+    /**
+     * One color phase.  Synchronous schedule (the PR 8 reference):
+     * all stripes, then a blocking halo exchange.  Boundary-first
+     * overlapped schedule (config.overlapHalo): consume the ghosts
+     * posted by the previous phase, run the stripes owning this
+     * rank's boundary rows, post their ghost rows WITHOUT blocking,
+     * and hide the transfer behind the interior stripes; the next
+     * consumption point's waitGhosts() — the following phase, or the
+     * sweep join whose row energies read ghost rows — is the only
+     * point that may block.  Every sweep join consumes the ghosts its
+     * phases posted, so no halo frame is ever left unread at
+     * teardown (an unread frame would RST the connection).
+     */
     void
     runPhase(int sweep, int color, double temperature)
     {
         if (empty())
             return;
-        for (int k = k0; k < k1; ++k)
-            runStripe(sweep, color, k, temperature);
+        if (!overlap) {
+            const auto t0 = std::chrono::steady_clock::now();
+            runStripes(sweep, color, k0, k1, temperature);
+            interiorNs += nsSince(t0);
+            applyOwnDeferred();
+            haloExchange();
+            return;
+        }
+        waitGhosts();
+        runStripe(sweep, color, k0, temperature);
+        if (k1 - k0 > 1)
+            runStripe(sweep, color, k1 - 1, temperature);
+        if (up >= 0)
+            postBoundaryRow(up, lo, /*async=*/true);
+        if (down >= 0)
+            postBoundaryRow(down, hi - 1, /*async=*/true);
+        if (up >= 0 || down >= 0)
+            ghostsInFlight = true;
+        const auto t0 = std::chrono::steady_clock::now();
+        runStripes(sweep, color, k0 + 1, k1 - 1, temperature);
+        interiorNs += nsSince(t0);
+        tr.progress();
         applyOwnDeferred();
-        haloExchange();
     }
 
     /** Sum and reset the per-stripe trace counters (sweep join). */
@@ -313,6 +502,12 @@ struct TileWork
         obs::Registry &reg = obs::Registry::global();
         for (obs::MetricShard &s : shards)
             reg.fold(s);
+        const ShardMetricIds &sids = ShardMetricIds::get();
+        reg.add(sids.haloBytesSent, haloBytesSent);
+        reg.add(sids.haloSendNs, haloSendNs);
+        reg.add(sids.haloWaitNs, haloWaitNs);
+        reg.add(sids.interiorNs, interiorNs);
+        haloBytesSent = haloSendNs = haloWaitNs = interiorNs = 0;
     }
 
     mrf::SamplerStats
@@ -500,6 +695,9 @@ runWorkerRank(const mrf::SolverConfig &config,
                 config.annealing.temperature(s);
             for (int color = 0; color < 2; ++color)
                 work.runPhase(s, color, temperature);
+            // The JOIN's per-row energies read the ghost rows, so the
+            // overlapped halos must land before they are computed.
+            work.waitGhosts();
             work.foldShards();
             StripeCounters tot = work.takeSweepCounters();
             std::vector<unsigned char> join =
@@ -515,7 +713,13 @@ runWorkerRank(const mrf::SolverConfig &config,
                 dieSweep(options, spec, config, s)) {
                 // Crash drill: this rank's sweep state is fully in
                 // flight to rank 0; vanish like a lost machine whose
-                // last checkpoint survived.
+                // last checkpoint survived.  Drain any ghosts still
+                // unconsumed first (none on the normal schedule — the
+                // join above waited — but cheap insurance), so the
+                // links close clean: FIN, not an RST that could
+                // discard the JOIN/GATHER/DIE frames rank 0 has not
+                // read yet.
+                work.drainGhosts();
                 tr.send(0, tag::kDie, nullptr, 0);
                 std::_Exit(17);
             }
@@ -753,6 +957,9 @@ ShardedCheckerboardSolver::run(const mrf::MrfProblem &problem,
         const double temperature = config_.annealing.temperature(s);
         for (int color = 0; color < 2; ++color)
             work.runPhase(s, color, temperature);
+        // The join's per-row energies read the ghost rows, so the
+        // overlapped halos must land before they are computed.
+        work.waitGhosts();
 
         // ---- sweep join ------------------------------------------
         StripeCounters tot = work.takeSweepCounters();

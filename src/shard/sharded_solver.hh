@@ -28,8 +28,13 @@
  * observe — init/resume, the caller's sampler and label map, trace,
  * telemetry, sweep observers, checkpoint emission, the obs registry
  * of record — while workers own only their tile's row range.  Within
- * a rank, stripes run sequentially (SolverConfig::threads is ignored
- * here; cross-process scaling replaces in-process threading).
+ * a rank, stripes dispatch across SolverConfig::threads (the
+ * single-process solver's sizing rule, capped at the rank's stripe
+ * count), and SolverConfig::overlapHalo switches each color phase to
+ * a boundary-first schedule that posts ghost rows asynchronously and
+ * hides the transfer behind the interior stripes.  Both knobs are
+ * schedule-only: any {threads} x {overlap on,off} combination
+ * produces the byte-identical result.
  */
 
 #ifndef RETSIM_SHARD_SHARDED_SOLVER_HH

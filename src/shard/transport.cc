@@ -1,9 +1,12 @@
 #include "shard/transport.hh"
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "util/framing.hh"
@@ -11,6 +14,66 @@
 
 namespace retsim {
 namespace shard {
+
+// ------------------------------------------------------------------
+// Matched receive with the kHalo stash (shared by both backends)
+
+std::deque<util::Frame> &
+ShardTransport::stash(int peer)
+{
+    if (stash_.empty())
+        stash_.resize(static_cast<std::size_t>(worldSize()));
+    return stash_[static_cast<std::size_t>(peer)];
+}
+
+std::vector<unsigned char>
+ShardTransport::recv(int peer, std::uint32_t tag)
+{
+    std::deque<util::Frame> &st = stash(peer);
+    if (tag == tag::kHalo && !st.empty()) {
+        std::vector<unsigned char> payload =
+            std::move(st.front().payload);
+        st.pop_front();
+        return payload;
+    }
+    for (;;) {
+        util::Frame f;
+        pullFrame(peer, /*blocking=*/true, &f);
+        if (f.tag == tag)
+            return std::move(f.payload);
+        // Only an in-flight ghost row may overtake a matched recv;
+        // anything else is a desynchronized protocol.
+        RETSIM_ASSERT(f.tag == tag::kHalo, name(), ": rank ", rank(),
+                      " expected tag ", tag, " from rank ", peer,
+                      ", got ", f.tag);
+        st.push_back(std::move(f));
+    }
+}
+
+bool
+ShardTransport::tryRecv(int peer, std::uint32_t tag,
+                        std::vector<unsigned char> *payload)
+{
+    std::deque<util::Frame> &st = stash(peer);
+    if (tag == tag::kHalo && !st.empty()) {
+        *payload = std::move(st.front().payload);
+        st.pop_front();
+        return true;
+    }
+    for (;;) {
+        util::Frame f;
+        if (!pullFrame(peer, /*blocking=*/false, &f))
+            return false;
+        if (f.tag == tag) {
+            *payload = std::move(f.payload);
+            return true;
+        }
+        RETSIM_ASSERT(f.tag == tag::kHalo, name(), ": rank ", rank(),
+                      " expected tag ", tag, " from rank ", peer,
+                      ", got ", f.tag);
+        st.push_back(std::move(f));
+    }
+}
 
 // ------------------------------------------------------------------
 // Loopback
@@ -27,9 +90,11 @@ class LoopbackMesh::Endpoint final : public ShardTransport
     bool sharedRegistry() const override { return true; }
     const char *name() const override { return "loopback"; }
 
+    // Queues are unbounded, so the async send IS the blocking send:
+    // it can never wait on the receiver.
     void
-    send(int peer, std::uint32_t tag, const unsigned char *data,
-         std::size_t len) override
+    sendAsync(int peer, std::uint32_t tag, const unsigned char *data,
+              std::size_t len) override
     {
         Channel &ch = mesh_->channel(rank_, peer);
         {
@@ -40,18 +105,21 @@ class LoopbackMesh::Endpoint final : public ShardTransport
         ch.cv.notify_one();
     }
 
-    std::vector<unsigned char>
-    recv(int peer, std::uint32_t tag) override
+  protected:
+    bool
+    pullFrame(int peer, bool blocking, util::Frame *frame) override
     {
         Channel &ch = mesh_->channel(peer, rank_);
         std::unique_lock<std::mutex> lock(ch.mutex);
-        ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+        if (blocking)
+            ch.cv.wait(lock, [&ch] { return !ch.queue.empty(); });
+        else if (ch.queue.empty())
+            return false;
         auto front = std::move(ch.queue.front());
         ch.queue.pop_front();
-        RETSIM_ASSERT(front.first == tag,
-                      "loopback: rank ", rank_, " expected tag ", tag,
-                      " from rank ", peer, ", got ", front.first);
-        return std::move(front.second);
+        frame->tag = front.first;
+        frame->payload = std::move(front.second);
+        return true;
     }
 
   private:
@@ -106,7 +174,8 @@ class SocketTransport final : public ShardTransport
   public:
     SocketTransport(int rank, int worldSize)
         : rank_(rank), worldSize_(worldSize),
-          fds_(static_cast<std::size_t>(worldSize), -1)
+          fds_(static_cast<std::size_t>(worldSize), -1),
+          outbox_(static_cast<std::size_t>(worldSize))
     {
     }
 
@@ -138,26 +207,123 @@ class SocketTransport final : public ShardTransport
     }
 
     void
-    send(int peer, std::uint32_t tag, const unsigned char *data,
-         std::size_t len) override
+    sendAsync(int peer, std::uint32_t tag, const unsigned char *data,
+              std::size_t len) override
     {
-        util::writeFrame(peerFd(peer), tag, data, len);
+        Outbox &ob = outbox_[static_cast<std::size_t>(peer)];
+        util::appendFrame(ob.buf, tag, data, len);
+        drain(peer, /*blocking=*/false);
     }
 
-    std::vector<unsigned char>
-    recv(int peer, std::uint32_t tag) override
+    void
+    progress() override
     {
-        util::Frame f = util::readFrame(peerFd(peer));
-        RETSIM_ASSERT(f.tag == tag, "socket: rank ", rank_,
-                      " expected tag ", tag, " from rank ", peer,
-                      ", got ", f.tag);
-        return std::move(f.payload);
+        for (int p = 0; p < worldSize_; ++p)
+            if (pending(p))
+                drain(p, /*blocking=*/false);
+    }
+
+    void
+    flushSends() override
+    {
+        for (int p = 0; p < worldSize_; ++p)
+            if (pending(p))
+                drain(p, /*blocking=*/true);
+    }
+
+  protected:
+    bool
+    pullFrame(int peer, bool blocking, util::Frame *frame) override
+    {
+        if (blocking) {
+            // Hand queued sends to the OS before parking in a read:
+            // a peer symmetrically blocked on OUR frame must be able
+            // to make progress.
+            flushSends();
+            *frame = util::readFrame(peerFd(peer));
+            return true;
+        }
+        progress();
+        struct pollfd pfd;
+        pfd.fd = peerFd(peer);
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        int pr = ::poll(&pfd, 1, 0);
+        if (pr < 0 && errno != EINTR)
+            RETSIM_FATAL("socket: poll failed: ",
+                         std::strerror(errno));
+        if (pr <= 0)
+            return false;
+        // At least the frame's first bytes arrived; the remainder of
+        // one small frame is already in flight, so the bounded
+        // readFrame completes promptly.
+        *frame = util::readFrame(pfd.fd);
+        return true;
     }
 
   private:
+    /** Queued outbound bytes for one peer; off marks how much of the
+     *  front has already been written. */
+    struct Outbox
+    {
+        std::vector<unsigned char> buf;
+        std::size_t off = 0;
+    };
+
+    bool
+    pending(int peer) const
+    {
+        const Outbox &ob = outbox_[static_cast<std::size_t>(peer)];
+        return ob.off < ob.buf.size();
+    }
+
+    /** Write queued bytes for @p peer; non-blocking mode stops at
+     *  EAGAIN, blocking mode polls for writability until drained. */
+    void
+    drain(int peer, bool blocking)
+    {
+        Outbox &ob = outbox_[static_cast<std::size_t>(peer)];
+        const int fd = peerFd(peer);
+        while (ob.off < ob.buf.size()) {
+            ssize_t n =
+                ::send(fd, ob.buf.data() + ob.off,
+                       ob.buf.size() - ob.off, MSG_DONTWAIT);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                    if (!blocking)
+                        return;
+                    struct pollfd pfd;
+                    pfd.fd = fd;
+                    pfd.events = POLLOUT;
+                    pfd.revents = 0;
+                    int pr =
+                        ::poll(&pfd, 1, util::kFrameTimeoutMs);
+                    if (pr < 0 && errno != EINTR)
+                        RETSIM_FATAL("socket: flush poll failed: ",
+                                     std::strerror(errno));
+                    if (pr == 0)
+                        RETSIM_FATAL("socket: rank ", rank_,
+                                     " could not flush to rank ",
+                                     peer, " within ",
+                                     util::kFrameTimeoutMs,
+                                     " ms (shard process lost?)");
+                    continue;
+                }
+                RETSIM_FATAL("socket: send to rank ", peer,
+                             " failed: ", std::strerror(errno));
+            }
+            ob.off += static_cast<std::size_t>(n);
+        }
+        ob.buf.clear();
+        ob.off = 0;
+    }
+
     int rank_;
     int worldSize_;
     std::vector<int> fds_;
+    std::vector<Outbox> outbox_;
 };
 
 /** Wire up worker-worker halo links by relaying an ephemeral port

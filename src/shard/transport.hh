@@ -23,7 +23,21 @@
  * recv(peer, tag) is matched: receiving a frame whose tag differs
  * from the expectation is a fatal protocol error, which turns any
  * desynchronization into an immediate diagnostic instead of silently
- * misinterpreted bytes.
+ * misinterpreted bytes.  One deliberate exception: kHalo frames may
+ * be OVERTAKEN by a matched recv for another tag.  With the
+ * overlapped (boundary-first) schedule, a ghost row posted at the end
+ * of a color phase is consumed only at the start of the NEXT phase,
+ * so on channels that carry both halo and join traffic (the star link
+ * when rank 0 is a tile neighbor) the next frame ahead of an expected
+ * kJoin is legitimately a kHalo for the following phase.  Matched
+ * recvs park such frames in a per-peer FIFO stash that halo recvs
+ * drain first; any other unexpected tag is still fatal.
+ *
+ * sendAsync(peer, tag, ...) queues a frame without blocking;
+ * progress() opportunistically drives queued bytes, and flushSends()
+ * blocks until everything queued reached the OS — blocking send() is
+ * exactly sendAsync() + flushSends(), so mixing the two preserves the
+ * per-peer frame order.
  */
 
 #ifndef RETSIM_SHARD_TRANSPORT_HH
@@ -39,6 +53,7 @@
 #include <vector>
 
 #include "shard/tile_partition.hh"
+#include "util/framing.hh"
 
 namespace retsim {
 namespace shard {
@@ -62,19 +77,58 @@ class ShardTransport
     virtual int rank() const = 0;
     virtual int worldSize() const = 0;
 
-    virtual void send(int peer, std::uint32_t tag,
-                      const unsigned char *data, std::size_t len) = 0;
+    /** Queue one frame for @p peer and return without blocking; the
+     *  bytes travel during progress()/flushSends() or any blocking
+     *  call.  Frames to one peer are delivered in send order, async
+     *  and blocking sends alike. */
+    virtual void sendAsync(int peer, std::uint32_t tag,
+                           const unsigned char *data,
+                           std::size_t len) = 0;
+
+    /** Opportunistically drive queued outbound bytes; never blocks. */
+    virtual void progress() {}
+
+    /** Block until every queued outbound byte reached the OS. */
+    virtual void flushSends() {}
+
+    /** Blocking send: queue the frame and flush. */
+    void
+    send(int peer, std::uint32_t tag, const unsigned char *data,
+         std::size_t len)
+    {
+        sendAsync(peer, tag, data, len);
+        flushSends();
+    }
 
     /** Blocking receive of the next frame from @p peer; the frame's
-     *  tag must equal @p tag (fatal otherwise). */
-    virtual std::vector<unsigned char> recv(int peer,
-                                            std::uint32_t tag) = 0;
+     *  tag must equal @p tag.  kHalo frames ahead of another expected
+     *  tag are stashed (see the file comment); any other mismatch is
+     *  fatal. */
+    std::vector<unsigned char> recv(int peer, std::uint32_t tag);
+
+    /** Non-blocking receive: true + payload when a matching frame was
+     *  already available (stashed or arrived), false otherwise. */
+    bool tryRecv(int peer, std::uint32_t tag,
+                 std::vector<unsigned char> *payload);
 
     /** True when all ranks share one obs::Registry (loopback); false
      *  when workers must ship a metric delta back (sockets). */
     virtual bool sharedRegistry() const = 0;
 
     virtual const char *name() const = 0;
+
+  protected:
+    /** Next frame from @p peer, in arrival order.  Blocking mode
+     *  always returns a frame (fatal on transport error); otherwise
+     *  returns false when none is ready. */
+    virtual bool pullFrame(int peer, bool blocking,
+                           util::Frame *frame) = 0;
+
+  private:
+    std::deque<util::Frame> &stash(int peer);
+
+    /** Per-peer kHalo frames overtaken by a matched recv. */
+    std::vector<std::deque<util::Frame>> stash_;
 };
 
 /**

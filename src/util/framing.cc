@@ -93,6 +93,21 @@ writeFrame(int fd, std::uint32_t tag, const unsigned char *data,
     }
 }
 
+void
+appendFrame(std::vector<unsigned char> &out, std::uint32_t tag,
+            const unsigned char *data, std::size_t len)
+{
+    unsigned char header[16];
+    std::uint32_t magic = kFrameMagic;
+    std::uint64_t len64 = len;
+    std::memcpy(header, &magic, 4);
+    std::memcpy(header + 4, &tag, 4);
+    std::memcpy(header + 8, &len64, 8);
+    out.insert(out.end(), header, header + 16);
+    if (len)
+        out.insert(out.end(), data, data + len);
+}
+
 Frame
 readFrame(int fd, int timeoutMs)
 {

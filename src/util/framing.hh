@@ -39,6 +39,15 @@ void writeFrame(int fd, std::uint32_t tag, const unsigned char *data,
                 std::size_t len);
 
 /**
+ * Serialize one frame (header + payload) onto the end of @p out —
+ * the building block of a non-blocking send queue: callers append
+ * frames and drain the buffer with short writes as the socket
+ * accepts them, preserving the per-peer frame order.
+ */
+void appendFrame(std::vector<unsigned char> &out, std::uint32_t tag,
+                 const unsigned char *data, std::size_t len);
+
+/**
  * Read one frame, polling up to @p timeoutMs for each chunk; fatal on
  * EOF, error, timeout, or bad magic.
  */

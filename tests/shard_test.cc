@@ -6,9 +6,11 @@
  * stream keys, frame round-trips over a socketpair, and the headline
  * equivalence contract on the loopback transport — a run sharded N
  * ways is byte-identical (labels, trace, final snapshot) to the
- * serial striped run.  Socket-transport equivalence and the crash
- * drill live in tools/shard_check (forking inside the gtest process
- * is off the table: the suite is multi-threaded).
+ * serial striped run, for the synchronous AND the overlapped
+ * (boundary-first) halo schedule at several intra-rank thread counts.
+ * Socket-transport equivalence and the crash drill live in
+ * tools/shard_check (forking inside the gtest process is off the
+ * table: the suite is multi-threaded).
  */
 
 #include <string>
@@ -27,6 +29,7 @@
 #include "mrf/problem.hh"
 #include "shard/sharded_solver.hh"
 #include "shard/tile_partition.hh"
+#include "shard/transport.hh"
 #include "util/framing.hh"
 
 namespace {
@@ -210,6 +213,93 @@ TEST(Framing, PreservesFrameOrderUnderBackToBackWrites)
     ::close(fds[1]);
 }
 
+TEST(Framing, AppendFrameBytesParseBackAsFrames)
+{
+    // appendFrame (the async-send outbox serializer) must produce the
+    // exact wire format readFrame parses.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    std::vector<unsigned char> payload;
+    for (int i = 0; i < 300; ++i)
+        payload.push_back(static_cast<unsigned char>(i * 3 + 1));
+    std::vector<unsigned char> wire;
+    util::appendFrame(wire, 42, payload.data(), payload.size());
+    util::appendFrame(wire, 7, nullptr, 0); // empty payload
+    const unsigned char *p = wire.data();
+    std::size_t left = wire.size();
+    while (left > 0) {
+        ssize_t n = ::write(fds[0], p, left);
+        ASSERT_GT(n, 0);
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+
+    util::Frame a = util::readFrame(fds[1]);
+    EXPECT_EQ(a.tag, 42u);
+    EXPECT_EQ(a.payload, payload);
+    util::Frame b = util::readFrame(fds[1]);
+    EXPECT_EQ(b.tag, 7u);
+    EXPECT_TRUE(b.payload.empty());
+
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+// ------------------------------------------------------------------
+// Transport stash + tryRecv
+
+TEST(ShardTransport, MatchedRecvStashesOvertakenHaloFrames)
+{
+    // A kHalo posted ahead of a kJoin must not trip the matched-recv
+    // protocol check: the join recv parks it, and the next halo
+    // recv/tryRecv drains the stash before touching the channel.
+    shard::LoopbackMesh mesh(2);
+    shard::ShardTransport &tx = mesh.transport(0);
+    shard::ShardTransport &rx = mesh.transport(1);
+
+    const unsigned char halo[] = {0xaa, 0xbb};
+    const unsigned char join[] = {0x01};
+    tx.sendAsync(1, shard::tag::kHalo, halo, sizeof halo);
+    tx.send(1, shard::tag::kJoin, join, sizeof join);
+
+    std::vector<unsigned char> got = rx.recv(0, shard::tag::kJoin);
+    ASSERT_EQ(got.size(), sizeof join);
+    EXPECT_EQ(got[0], 0x01);
+
+    std::vector<unsigned char> ghost;
+    ASSERT_TRUE(rx.tryRecv(0, shard::tag::kHalo, &ghost));
+    ASSERT_EQ(ghost.size(), sizeof halo);
+    EXPECT_EQ(ghost[0], 0xaa);
+    EXPECT_EQ(ghost[1], 0xbb);
+}
+
+TEST(ShardTransport, TryRecvReportsEmptyChannelWithoutBlocking)
+{
+    shard::LoopbackMesh mesh(2);
+    std::vector<unsigned char> payload{0xff};
+    EXPECT_FALSE(mesh.transport(1).tryRecv(0, shard::tag::kHalo,
+                                           &payload));
+    // A failed tryRecv leaves the output untouched.
+    ASSERT_EQ(payload.size(), 1u);
+    EXPECT_EQ(payload[0], 0xff);
+
+    // And frames already delivered are picked up without blocking,
+    // preserving per-peer FIFO order across async and blocking sends.
+    const unsigned char a = 1, b = 2;
+    mesh.transport(0).sendAsync(1, shard::tag::kHalo, &a, 1);
+    mesh.transport(0).sendAsync(1, shard::tag::kHalo, &b, 1);
+    std::vector<unsigned char> first, second;
+    ASSERT_TRUE(
+        mesh.transport(1).tryRecv(0, shard::tag::kHalo, &first));
+    ASSERT_TRUE(
+        mesh.transport(1).tryRecv(0, shard::tag::kHalo, &second));
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(first[0], 1);
+    EXPECT_EQ(second[0], 2);
+}
+
 // ------------------------------------------------------------------
 // Loopback equivalence
 
@@ -265,10 +355,13 @@ runReference(const mrf::MrfProblem &problem, int stripes)
 }
 
 RunResult
-runLoopback(const mrf::MrfProblem &problem, int stripes, int shards)
+runLoopback(const mrf::MrfProblem &problem, int stripes, int shards,
+            bool overlapHalo = false, int threads = 1)
 {
     RunResult r;
     mrf::SolverConfig cfg = solverConfig(stripes);
+    cfg.overlapHalo = overlapHalo;
+    cfg.threads = threads;
     cfg.checkpointSink = [&](const mrf::SolverCheckpoint &cp) {
         if (cp.sweepsDone == cp.sweepsTotal)
             r.snapshot = cp.serialize();
@@ -318,6 +411,47 @@ TEST(ShardedSolver, SingleShardDelegatesToSerialSolver)
     const mrf::MrfProblem problem = makeProblem();
     const RunResult ref = runReference(problem, 4);
     expectSameRun(ref, runLoopback(problem, 4, 1));
+}
+
+// ------------------------------------------------------------------
+// Overlapped (boundary-first) schedule equivalence
+
+TEST(ShardedSolver, OverlapOnIsByteIdenticalToOverlapOff)
+{
+    // The headline schedule-invariance contract: overlapping the halo
+    // exchange with interior compute, at any intra-rank thread count,
+    // must not change a single byte of labels, trace or snapshot.
+    const mrf::MrfProblem problem = makeProblem();
+    const RunResult ref = runReference(problem, 4);
+    for (int shards : {1, 2, 4}) {
+        for (int threads : {1, 2, 4}) {
+            SCOPED_TRACE("shards=" + std::to_string(shards) +
+                         " threads=" + std::to_string(threads));
+            expectSameRun(
+                ref, runLoopback(problem, 4, shards, true, threads));
+        }
+    }
+}
+
+TEST(ShardedSolver, OverlapWithOneRowTiles)
+{
+    // height == stripes == shards: every tile is one row, so a rank's
+    // "boundary" stripes and its whole tile coincide (k0 == k1 - 1)
+    // and there is no interior left to overlap with.  The schedule
+    // must degrade to the synchronous result, not deadlock or
+    // double-run the single stripe.
+    const mrf::MrfProblem problem = makeProblem(12, 6);
+    const RunResult ref = runReference(problem, 6);
+    expectSameRun(ref, runLoopback(problem, 6, 6, true, 2));
+}
+
+TEST(ShardedSolver, OverlapWithMoreShardsThanStripes)
+{
+    // Surplus empty ranks sit out the phase entirely; overlapped
+    // halos must only flow between the non-empty neighbors.
+    const mrf::MrfProblem problem = makeProblem(10, 9);
+    const RunResult ref = runReference(problem, 3);
+    expectSameRun(ref, runLoopback(problem, 3, 5, true, 2));
 }
 
 } // namespace

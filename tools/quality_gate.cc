@@ -26,6 +26,10 @@
  *                          runs that started before K)
  *   --values-out=P         dump the observed metric values as JSON
  *
+ * Sharded runs additionally honor the schedule knobs --threads= and
+ * --overlap-halo=on|off (shard/shard_cli.hh); the CI leg proves the
+ * values file stays byte-identical across every combination.
+ *
  * Looping "run until exit 0" with --resume and --die-at-sweep kills
  * and resumes each app in turn; because resume is bit-exact, the
  * final --values-out file is byte-identical to an uninterrupted run's.
@@ -97,6 +101,11 @@ core::RaceMode g_race_mode = core::RaceMode::Race;
  *  shard-equivalence leg). */
 shard::ShardOptions g_shard_options;
 
+/** `--threads=` / `--overlap-halo=`: schedule-only solver knobs
+ *  applied to every app config; results are byte-identical for any
+ *  setting, so the gated metrics must not move. */
+shard::SolverTuning g_solver_tuning;
+
 core::RsuSampler
 makeSampler()
 {
@@ -125,6 +134,7 @@ void
 armCheckpointing(mrf::SolverConfig &cfg, const CheckpointDrill &drill,
                  const std::string &app)
 {
+    shard::applySolverTuning(g_solver_tuning, &cfg);
     shard::applyShardBackend(g_shard_options, &cfg);
     if (drill.dir.empty())
         return;
@@ -366,6 +376,7 @@ main(int argc, char **argv)
     simd::backendFromCli(args); // --simd= dispatch override
     g_race_mode = core::raceModeFromCli(args);
     g_shard_options = shard::shardOptionsFromCli(args);
+    g_solver_tuning = shard::solverTuningFromCli(args);
     const bool sharded = g_shard_options.shards > 1 ||
                          g_shard_options.dieRank >= 0;
     const std::string baselines = args.getString(

@@ -25,6 +25,13 @@
  * every comparison holds.
  *
  *   --tmpdir=D   scratch directory for drill snapshots (default ".")
+ *
+ * The schedule knobs --overlap-halo=on|off and --threads=N
+ * (shard/shard_cli.hh) apply to every SHARDED run and to the crash
+ * drill, while the serial reference stays the pristine striped
+ * solver — so a `--overlap-halo=on --threads=2` invocation proves the
+ * overlapped, threaded schedule byte-identical to the very same
+ * synchronous serial goldens.
  */
 
 #include <cstdio>
@@ -44,6 +51,7 @@
 #include "img/synthetic.hh"
 #include "mrf/checkerboard.hh"
 #include "mrf/checkpoint.hh"
+#include "shard/shard_cli.hh"
 #include "shard/sharded_solver.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -51,6 +59,9 @@
 namespace {
 
 using namespace retsim;
+
+/** --overlap-halo= / --threads=, applied to sharded runs only. */
+shard::SolverTuning g_tuning;
 
 core::RsuSampler
 makeSampler()
@@ -166,6 +177,7 @@ runSharded(const Miniature &m, const shard::ShardOptions &options)
 {
     RunResult r;
     mrf::SolverConfig cfg = withSnapshotCapture(m.config, &r.snapshot);
+    shard::applySolverTuning(g_tuning, &cfg);
     auto sampler = makeSampler();
     r.labels = shard::ShardedCheckerboardSolver(cfg, options)
                    .run(m.problem, sampler, &r.trace);
@@ -230,6 +242,7 @@ runCrashDrill(const Miniature &m, const RunResult &ref,
     if (pid == 0) {
         mrf::SolverConfig cfg = m.config;
         cfg.checkpointPath = path;
+        shard::applySolverTuning(g_tuning, &cfg);
         shard::ShardOptions options;
         options.shards = 2;
         options.transport = shard::ShardOptions::Transport::Socket;
@@ -268,6 +281,7 @@ runCrashDrill(const Miniature &m, const RunResult &ref,
     RunResult resumed;
     mrf::SolverConfig cfg =
         withSnapshotCapture(m.config, &resumed.snapshot);
+    shard::applySolverTuning(g_tuning, &cfg);
     cfg.resume = std::move(cp);
     shard::ShardOptions options;
     options.shards = 2;
@@ -287,6 +301,12 @@ main(int argc, char **argv)
 {
     util::CliArgs args(argc, argv);
     const std::string tmpdir = args.getString("tmpdir", ".");
+    g_tuning = shard::solverTuningFromCli(args);
+    if (g_tuning.overlapHalo >= 0 || g_tuning.threads >= 0)
+        std::printf("shard_check: sharded runs use overlap-halo=%s "
+                    "threads=%d\n",
+                    g_tuning.overlapHalo == 1 ? "on" : "off",
+                    g_tuning.threads < 0 ? 1 : g_tuning.threads);
 
     std::vector<Miniature> minis = buildMiniatures();
     for (const Miniature &m : minis) {
